@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md's per-experiment index), plus the ablations
+// DESIGN.md calls out. Each benchmark runs the corresponding
+// experiment at a reduced scale and reports the headline quantity via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as a smoke
+// run of the whole evaluation; cmd/vpm-bench runs the full scale.
+package vpm
+
+import (
+	"testing"
+
+	"vpm/internal/core"
+	"vpm/internal/experiments"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/trace"
+)
+
+// benchCfg is the reduced scale used by benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 9, RatePPS: 100000, DurationNS: int64(200e6)}
+}
+
+// BenchmarkFig2DelayAccuracy regenerates Figure 2 (E1): delay accuracy
+// vs sampling rate under loss. Reported metric: accuracy in ms at the
+// paper's headline cell (1% sampling, 25% loss).
+func BenchmarkFig2DelayAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.SampleRatePct == 1 && r.LossPct == 25 {
+				b.ReportMetric(r.AccuracyMS, "ms-accuracy@1%,25%loss")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3LossGranularity regenerates Figure 3 (E2): loss
+// granularity vs loss rate. Reported metric: granularity degradation
+// factor at 25% loss.
+func BenchmarkFig3LossGranularity(b *testing.B) {
+	cfg := benchCfg()
+	cfg.DurationNS = int64(500e6)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var base, mid float64
+		for _, r := range rows {
+			if r.LossPct == 0 {
+				base = r.GranularitySec
+			}
+			if r.LossPct == 25 {
+				mid = r.GranularitySec
+			}
+		}
+		if base > 0 {
+			b.ReportMetric(mid/base, "granularity-x@25%loss")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (E3): the partition algebra.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkMemoryOverhead regenerates the §7.1 memory table (E4).
+func BenchmarkMemoryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MemoryOverhead()
+		b.ReportMetric(float64(rows[0].Ours.MonitoringCacheBytes)/1e6, "MB-cache@100kpaths")
+	}
+}
+
+// BenchmarkBandwidthOverhead regenerates the §7.1 bandwidth numbers
+// (E5). Reported metric: measured receipt overhead in percent on the
+// Figure 1 path.
+func BenchmarkBandwidthOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BandwidthOverhead(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].MeasuredPct, "%-receipt-overhead")
+	}
+}
+
+// BenchmarkForwardingBaseline and BenchmarkForwardingWithVPM
+// regenerate the §7.1 Click throughput experiment (E6) as proper
+// testing.B loops over the identical per-packet work.
+func BenchmarkForwardingBaseline(b *testing.B) {
+	pkts, wires := forwardingWorkload(b)
+	var scratch packet.Packet
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := wires[i%len(pkts)]
+		if err := scratch.Parse(w); err != nil {
+			b.Fatal(err)
+		}
+		scratch.TTL--
+	}
+}
+
+// BenchmarkForwardingWithVPM is the same loop with the collector
+// attached — the difference is VPM's true data-plane cost.
+func BenchmarkForwardingWithVPM(b *testing.B) {
+	pkts, wires := forwardingWorkload(b)
+	tc := benchTraceConfig()
+	col, err := core.NewCollector(core.CollectorConfig{
+		HOP:   4,
+		Table: tc.Table(),
+		PathID: func(key packet.PathKey) receipt.PathID {
+			return receipt.PathID{Key: key}
+		},
+		Sampling:    core.DefaultSamplingConfig(),
+		Aggregation: core.DefaultAggregationConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch packet.Packet
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := wires[i%len(pkts)]
+		if err := scratch.Parse(w); err != nil {
+			b.Fatal(err)
+		}
+		scratch.TTL--
+		col.Observe(&scratch, scratch.Digest(1), int64(i)*10_000)
+		if i%1_000_000 == 999_999 {
+			col.Drain()
+		}
+	}
+}
+
+func benchTraceConfig() trace.Config {
+	return trace.Config{
+		Seed:       3,
+		DurationNS: int64(100e6),
+		Paths:      []trace.PathSpec{trace.DefaultPath(100000)},
+	}
+}
+
+func forwardingWorkload(b *testing.B) ([]packet.Packet, [][]byte) {
+	b.Helper()
+	pkts, err := trace.Generate(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	wires := make([][]byte, len(pkts))
+	for i := range pkts {
+		wires[i] = pkts[i].Serialize(nil)
+	}
+	return pkts, wires
+}
+
+// BenchmarkVerifiability regenerates the §7.2 verifiability numbers
+// (E7). Reported metric: verification accuracy in ms when the witness
+// samples at 0.1%.
+func BenchmarkVerifiability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.DurationNS = int64(500e6)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Verifiability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.NRatePct == 0.1 {
+				b.ReportMetric(r.VerifyMS, "ms-verify@0.1%witness")
+			}
+		}
+	}
+}
+
+// BenchmarkAttacks regenerates the §3 attack ablation (E8). Reported
+// metric: how much loss the TS++ bias attack hides, in percentage
+// points.
+func BenchmarkAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Attacks(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Protocol == "TS++" {
+				b.ReportMetric(r.TrueLossPct-r.EstLossPct, "pct-loss-hidden-by-TS++bias")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMarkerRate sweeps the marker rate µ (DESIGN.md
+// ablation): more frequent markers shrink the bias-resistance buffer
+// but add always-sampled marker traffic. Reported metric: sampler
+// temp-buffer high-water mark in entries.
+func BenchmarkAblationMarkerRate(b *testing.B) {
+	for _, markerRate := range []float64{0.0001, 0.001, 0.01} {
+		b.Run(pct(markerRate), func(b *testing.B) {
+			tc := benchTraceConfig()
+			pkts, err := trace.Generate(tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				dc := core.DefaultDeployConfig()
+				dc.MarkerRate = markerRate
+				path := netsim.Fig1Path(5)
+				dep, err := core.NewDeployment(path, tc.Table(), dc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := path.Run(pkts, dep.Observers()); err != nil {
+					b.Fatal(err)
+				}
+				dep.Finalize()
+				b.ReportMetric(float64(dep.Collectors[4].Memory().TempBufferPeakEntries), "tempbuf-entries")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPatchUp compares J = 0 (no AggTrans; the Difference
+// Aggregator ++ behaviour) against the default window under
+// reordering. Reported metric: phantom losses per run attributed by
+// the verifier when nothing was actually dropped.
+func BenchmarkAblationPatchUp(b *testing.B) {
+	for _, window := range []int64{0, 2_000_000} {
+		name := "J=0"
+		if window > 0 {
+			name = "J=2ms"
+		}
+		b.Run(name, func(b *testing.B) {
+			tc := benchTraceConfig()
+			pkts, err := trace.Generate(tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := packet.PathKey{Src: tc.Paths[0].SrcPrefix, Dst: tc.Paths[0].DstPrefix}
+			for i := 0; i < b.N; i++ {
+				dc := core.DefaultDeployConfig()
+				dc.WindowNS = window
+				dc.Default.AggRate = 0.001 // many aggregates -> many cut windows
+				path := netsim.Fig1Path(6)
+				dep, err := core.NewDeployment(path, tc.Table(), dc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := path.Run(pkts, dep.Observers()); err != nil {
+					b.Fatal(err)
+				}
+				dep.Finalize()
+				v := dep.NewVerifier(key)
+				rep, err := v.LossBetween(4, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Per-pair absolute misalignment: a packet reordered
+				// across a cut inflates one pair and deflates the
+				// next, so the net sum hides it.
+				var phantom int64
+				for _, p := range rep.Pairs {
+					if l := p.Lost(); l >= 0 {
+						phantom += l
+					} else {
+						phantom -= l
+					}
+				}
+				b.ReportMetric(float64(phantom), "phantom-losses")
+			}
+		})
+	}
+}
+
+func pct(r float64) string {
+	switch {
+	case r >= 0.01:
+		return "mu=1%"
+	case r >= 0.001:
+		return "mu=0.1%"
+	default:
+		return "mu=0.01%"
+	}
+}
+
+// BenchmarkQuantileEstimation measures the verifier-side estimation
+// cost for a realistic sample population.
+func BenchmarkQuantileEstimation(b *testing.B) {
+	delays := make([]float64, 5000)
+	for i := range delays {
+		delays[i] = float64(i%997) * 1e4
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := quantile.Quantiles(delays, quantile.DefaultQuantiles, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command vpm-bench regenerates the paper's evaluation: every table
+// and figure (DESIGN.md's per-experiment index E1-E8), printed as
+// aligned text or Markdown.
+//
+// Usage:
+//
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks]
+//	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
+//
+// The defaults reproduce the paper's scale (100k packets/second for
+// one second per experiment point). Use a smaller -duration for a
+// quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"vpm/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks")
+		duration = flag.Duration("duration", time.Second, "trace duration per experiment point")
+		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+		out      = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		RatePPS:    *rate,
+		DurationNS: duration.Nanoseconds(),
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	wanted := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	section := func(title string) {
+		if *markdown {
+			fmt.Fprintf(w, "\n## %s\n\n", title)
+		} else {
+			fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+		}
+	}
+
+	if wanted("table1") {
+		ran = true
+		section("Table 1 — partitions, coarser-than, joins")
+		fmt.Fprint(w, experiments.Table1Render(experiments.Table1(), *markdown))
+	}
+	if wanted("fig2") {
+		ran = true
+		section("Figure 2 — delay accuracy [ms] vs sampling rate, per loss level")
+		rows, err := experiments.Fig2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.Fig2Render(rows, *markdown))
+	}
+	if wanted("fig3") {
+		ran = true
+		section("Figure 3 — loss granularity [sec] vs loss rate")
+		rows, err := experiments.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.Fig3Render(rows, *markdown))
+	}
+	if wanted("memory") {
+		ran = true
+		section("§7.1 — memory overhead (paper arithmetic vs this implementation)")
+		fmt.Fprint(w, experiments.MemoryRender(experiments.MemoryOverhead(), *markdown))
+	}
+	if wanted("bandwidth") {
+		ran = true
+		section("§7.1 — receipt bandwidth overhead")
+		rows, err := experiments.BandwidthOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.BandwidthRender(rows, *markdown))
+	}
+	if wanted("click") {
+		ran = true
+		section("§7.1 — forwarding throughput with and without the VPM collector")
+		rows, err := experiments.Click(cfg, 2_000_000)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.ClickRender(rows, *markdown))
+	}
+	if wanted("verif") {
+		ran = true
+		section("§7.2 — verifiability vs the witness's sampling rate")
+		rows, err := experiments.Verifiability(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.VerifiabilityRender(rows, *markdown))
+	}
+	if wanted("attacks") {
+		ran = true
+		section("§3/§5 — protocol × adversary ablation")
+		rows, err := experiments.Attacks(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, experiments.AttacksRender(rows, *markdown))
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks)", *run))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpm-bench:", strings.TrimPrefix(err.Error(), "vpm-bench: "))
+	os.Exit(1)
+}

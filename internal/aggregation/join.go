@@ -1,0 +1,250 @@
+package aggregation
+
+import (
+	"vpm/internal/receipt"
+)
+
+// This file implements the verifier-side partition algebra of §6: the
+// join of two aggregate sets (the finest partition coarser than both)
+// and the §6.3 patch-up transformation that migrates packets across
+// cutting points using AggTrans windows when the two HOPs observed
+// reordered streams.
+
+// Pair is a joined aggregate: the combined receipts from the upstream
+// HOP (A) and the downstream HOP (B) covering the same packet set.
+type Pair struct {
+	A, B receipt.AggReceipt
+}
+
+// Lost returns the packets lost between the two HOPs within this
+// joined aggregate (negative if B somehow counted more, which an
+// honest pair never does).
+func (p Pair) Lost() int64 { return int64(p.A.PktCnt) - int64(p.B.PktCnt) }
+
+// Join computes the join of two aggregate receipt sequences: it finds
+// the cutting points common to both HOPs (aggregate First-packet IDs
+// appearing in both sequences, in order) and combines the receipts
+// between consecutive common cuts. The result is the finest partition
+// over which the two HOPs' claims can be compared (§6.1–§6.2).
+//
+// Receipts must be in stream order and share each side's PathID
+// traffic. Loss or extra cuts on either side merge away — exactly the
+// graceful degradation §6.3 describes.
+func Join(a, b []receipt.AggReceipt) []Pair {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// Internal boundaries of b: First-packet ID -> aggregate index.
+	bIdx := make(map[uint64]int, len(b))
+	for j := 1; j < len(b); j++ {
+		if _, dup := bIdx[b[j].Agg.First]; !dup {
+			bIdx[b[j].Agg.First] = j
+		}
+	}
+	var pairs []Pair
+	ia, ib := 0, 0
+	for i := 1; i < len(a); i++ {
+		j, ok := bIdx[a[i].Agg.First]
+		if !ok || j <= ib {
+			// Not a common boundary (or would violate stream order,
+			// which can happen with duplicate digests): merge on.
+			continue
+		}
+		if ia == i || ib == j {
+			continue
+		}
+		ca, err1 := receipt.CombineAggregates(a[ia:i]...)
+		cb, err2 := receipt.CombineAggregates(b[ib:j]...)
+		if err1 != nil || err2 != nil {
+			// PathID mismatch inside a sequence — skip this boundary.
+			continue
+		}
+		pairs = append(pairs, Pair{A: ca, B: cb})
+		ia, ib = i, j
+	}
+	ca, err1 := receipt.CombineAggregates(a[ia:]...)
+	cb, err2 := receipt.CombineAggregates(b[ib:]...)
+	if err1 == nil && err2 == nil {
+		pairs = append(pairs, Pair{A: ca, B: cb})
+	}
+	return pairs
+}
+
+// PatchUp applies the §6.3 migration to a joined sequence: for each
+// internal boundary, it compares the two AggTrans windows and, for any
+// packet that appears on different sides of the cutting point at the
+// two HOPs, migrates B's count so that B's aggregates correspond to
+// the same packet sets as A's. It returns the number of migrations
+// performed. Pairs are modified in place.
+//
+// In the paper's example, HOP 1 observes 〈p3 p4 p5 p6〉 around the cut
+// at p5 while HOP 4 observes 〈p2 p3 p5 p4〉: p4 moved across the cut,
+// so the verifier migrates p4 from HOP 4's later aggregate into its
+// earlier one.
+func PatchUp(pairs []Pair) int {
+	migrations := 0
+	for k := 0; k+1 < len(pairs); k++ {
+		// The boundary after pair k is the First packet of pair k+1.
+		cutID := pairs[k+1].A.Agg.First
+		if cutID != pairs[k+1].B.Agg.First {
+			// Join produced this boundary from a common cut; if the
+			// sequences disagree the boundary isn't patchable.
+			continue
+		}
+		wa, wb := pairs[k].A.AggTrans, pairs[k].B.AggTrans
+		posA, okA := indexOf(wa, cutID)
+		posB, okB := indexOf(wb, cutID)
+		if !okA || !okB {
+			continue
+		}
+		// Side of the cut each common packet fell on at each HOP.
+		sideB := make(map[uint64]bool, len(wb)) // true = before cut
+		for i, r := range wb {
+			if r.PktID == cutID {
+				continue
+			}
+			if _, dup := sideB[r.PktID]; !dup {
+				sideB[r.PktID] = i < posB
+			}
+		}
+		for i, r := range wa {
+			if r.PktID == cutID {
+				continue
+			}
+			beforeAtB, seen := sideB[r.PktID]
+			if !seen {
+				continue
+			}
+			beforeAtA := i < posA
+			switch {
+			case beforeAtA && !beforeAtB:
+				// A says the packet belongs to the earlier aggregate;
+				// B counted it in the later one. Migrate earlier.
+				pairs[k].B.PktCnt++
+				pairs[k+1].B.PktCnt--
+				migrations++
+			case !beforeAtA && beforeAtB:
+				pairs[k].B.PktCnt--
+				pairs[k+1].B.PktCnt++
+				migrations++
+			}
+		}
+	}
+	return migrations
+}
+
+// indexOf returns the position of id in the window.
+func indexOf(w []receipt.SampleRecord, id uint64) (int, bool) {
+	for i, r := range w {
+		if r.PktID == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// JoinAligned is Join followed by PatchUp — the full §6 verifier
+// pipeline for aggregate receipts.
+func JoinAligned(a, b []receipt.AggReceipt) []Pair {
+	pairs := Join(a, b)
+	PatchUp(pairs)
+	return pairs
+}
+
+// Partition describes an abstract partition of a packet set as a list
+// of aggregates (each a list of packet IDs). It exists to express the
+// paper's Table 1 set algebra directly, for tests, documentation and
+// the Table 1 experiment.
+type Partition [][]uint64
+
+// Coarser reports whether p ≥ q: every aggregate of p is a union of
+// consecutive aggregates of q (the paper's "finer than" relation).
+func (p Partition) Coarser(q Partition) bool {
+	flatP := p.flatten()
+	flatQ := q.flatten()
+	if !equalU64(flatP, flatQ) {
+		return false // not partitions of the same sequence
+	}
+	// Every cut of p must also be a cut of q.
+	cutsQ := q.cutSet()
+	for _, c := range p.cuts() {
+		if !cutsQ[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinWith returns the join of p and q: the finest partition of the
+// same packet sequence that is coarser than both — cut exactly at the
+// common cutting points.
+func (p Partition) JoinWith(q Partition) Partition {
+	flat := p.flatten()
+	cutsP := p.cutSet()
+	cutsQ := q.cutSet()
+	var out Partition
+	var cur []uint64
+	for i, id := range flat {
+		if i > 0 && cutsP[id] && cutsQ[id] {
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, id)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Equal reports structural equality of two partitions.
+func (p Partition) Equal(q Partition) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !equalU64(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Partition) flatten() []uint64 {
+	var out []uint64
+	for _, agg := range p {
+		out = append(out, agg...)
+	}
+	return out
+}
+
+// cuts returns the first element of each aggregate after the first.
+func (p Partition) cuts() []uint64 {
+	var out []uint64
+	for i := 1; i < len(p); i++ {
+		if len(p[i]) > 0 {
+			out = append(out, p[i][0])
+		}
+	}
+	return out
+}
+
+func (p Partition) cutSet() map[uint64]bool {
+	m := make(map[uint64]bool)
+	for _, c := range p.cuts() {
+		m[c] = true
+	}
+	return m
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+package aggregation
+
+import (
+	"testing"
+
+	"vpm/internal/hashing"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+)
+
+// runPair feeds the upstream stream to one partitioner and a
+// downstream variant (possibly with drops/reorder) to another,
+// returning both receipt sequences.
+func runPair(cfgUp, cfgDown Config, up, down []obs) (a, b []receipt.AggReceipt) {
+	pa := New(cfgUp, testPath())
+	for _, o := range up {
+		pa.Observe(o.id, o.t)
+	}
+	pb := New(cfgDown, testPath())
+	for _, o := range down {
+		pb.Observe(o.id, o.t)
+	}
+	return pa.Flush(), pb.Flush()
+}
+
+func TestJoinIdenticalStreams(t *testing.T) {
+	stream := randomStream(11, 100000)
+	cfg := Config{CutRate: 0.001, WindowNS: 10_000}
+	a, b := runPair(cfg, cfg, stream, stream)
+	pairs := Join(a, b)
+	if len(pairs) != len(a) {
+		t.Fatalf("join of identical sequences has %d pairs, want %d", len(pairs), len(a))
+	}
+	for i, p := range pairs {
+		if p.Lost() != 0 {
+			t.Fatalf("pair %d lost %d on identical streams", i, p.Lost())
+		}
+		if p.A.Agg != p.B.Agg {
+			t.Fatalf("pair %d AggIDs differ", i)
+		}
+	}
+}
+
+func TestJoinDifferentThresholds(t *testing.T) {
+	// §6.2: with no loss/reorder, differently tuned HOPs produce
+	// nested partitions; the join equals the coarser side and all
+	// counts agree.
+	stream := randomStream(12, 150000)
+	a, b := runPair(
+		Config{CutRate: 0.0005, WindowNS: 10_000},
+		Config{CutRate: 0.01, WindowNS: 10_000},
+		stream, stream)
+	pairs := Join(a, b)
+	if len(pairs) != len(a) {
+		t.Fatalf("join has %d pairs, want coarse side's %d", len(pairs), len(a))
+	}
+	for i, p := range pairs {
+		if p.Lost() != 0 {
+			t.Fatalf("pair %d lost %d with no loss", i, p.Lost())
+		}
+	}
+}
+
+func TestJoinExactLossAccounting(t *testing.T) {
+	// Drop a known set of non-cut packets downstream; the join must
+	// attribute exactly those losses, pair by pair.
+	stream := randomStream(13, 120000)
+	cfg := Config{CutRate: 0.001, WindowNS: 0}
+	delta := hashing.ThresholdForRate(cfg.CutRate)
+	r := stats.NewRNG(99)
+	var down []obs
+	dropped := 0
+	for _, o := range stream {
+		if !hashing.Exceeds(o.id, delta) && r.Bool(0.1) {
+			dropped++
+			continue
+		}
+		down = append(down, o)
+	}
+	a, b := runPair(cfg, cfg, stream, down)
+	pairs := Join(a, b)
+	if len(pairs) != len(a) {
+		// All cuts survive, so alignment must be perfect.
+		t.Fatalf("join has %d pairs, want %d", len(pairs), len(a))
+	}
+	var lost int64
+	for i, p := range pairs {
+		if p.Lost() < 0 {
+			t.Fatalf("pair %d negative loss %d", i, p.Lost())
+		}
+		lost += p.Lost()
+	}
+	if lost != int64(dropped) {
+		t.Fatalf("join accounts %d losses, want %d", lost, dropped)
+	}
+}
+
+func TestJoinLostCuttingPointsMerge(t *testing.T) {
+	// §6.3: dropping cutting points coarsens the join smoothly — the
+	// two sides still produce pairs and total counts still reconcile.
+	stream := randomStream(14, 150000)
+	cfg := Config{CutRate: 0.002, WindowNS: 0}
+	delta := hashing.ThresholdForRate(cfg.CutRate)
+	r := stats.NewRNG(7)
+	var down []obs
+	droppedCuts, dropped := 0, 0
+	for _, o := range stream {
+		if hashing.Exceeds(o.id, delta) && r.Bool(0.25) {
+			droppedCuts++
+			dropped++
+			continue
+		}
+		down = append(down, o)
+	}
+	if droppedCuts == 0 {
+		t.Fatal("test did not drop any cuts")
+	}
+	a, b := runPair(cfg, cfg, stream, down)
+	pairs := Join(a, b)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs after cut loss")
+	}
+	if len(pairs) >= len(a) {
+		t.Fatalf("join should coarsen: %d pairs vs %d upstream receipts", len(pairs), len(a))
+	}
+	var lost int64
+	for _, p := range pairs {
+		lost += p.Lost()
+	}
+	if lost != int64(dropped) {
+		t.Fatalf("join accounts %d losses, want %d", lost, dropped)
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	if Join(nil, nil) != nil {
+		t.Error("join of empties should be nil")
+	}
+	one := []receipt.AggReceipt{{Path: testPath(), PktCnt: 5}}
+	if Join(one, nil) != nil || Join(nil, one) != nil {
+		t.Error("join with one empty side should be nil")
+	}
+}
+
+func TestJoinSingleAggregates(t *testing.T) {
+	p := testPath()
+	a := []receipt.AggReceipt{{Path: p, Agg: receipt.AggID{First: 1, Last: 9}, PktCnt: 10}}
+	b := []receipt.AggReceipt{{Path: p, Agg: receipt.AggID{First: 1, Last: 9}, PktCnt: 8}}
+	pairs := Join(a, b)
+	if len(pairs) != 1 || pairs[0].Lost() != 2 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestPatchUpPaperExample(t *testing.T) {
+	// The §6.3 worked example: upstream observes p1..p8 with a cut at
+	// p5; downstream observes p4 and p5 swapped. Without patch-up the
+	// counts disagree (3 vs 4, 5 vs 4); with patch-up they align.
+	delta := hashing.ThresholdForRate(0.5)
+	// Construct IDs: only idx 4 ("p5") exceeds delta.
+	r := stats.NewRNG(21)
+	ids := make([]uint64, 8)
+	for i := range ids {
+		for {
+			v := r.Uint64()
+			isCut := hashing.Exceeds(v, delta)
+			if isCut == (i == 4) {
+				ids[i] = v
+				break
+			}
+		}
+	}
+	const gap = 100 // ns between packets; window J comfortably larger
+	mkObs := func(order []int) []obs {
+		out := make([]obs, len(order))
+		for pos, idx := range order {
+			out[pos] = obs{id: ids[idx], t: int64(pos) * gap}
+		}
+		return out
+	}
+	up := mkObs([]int{0, 1, 2, 3, 4, 5, 6, 7})   // p1..p8
+	down := mkObs([]int{0, 1, 2, 4, 3, 5, 6, 7}) // p4, p5 swapped
+	cfg := Config{CutRate: 0.5, WindowNS: 1000}
+	a, b := runPair(cfg, cfg, up, down)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("unexpected partitioning: %d and %d aggregates", len(a), len(b))
+	}
+	pairs := Join(a, b)
+	if len(pairs) != 2 {
+		t.Fatalf("join has %d pairs", len(pairs))
+	}
+	if pairs[0].Lost() == 0 && pairs[1].Lost() == 0 {
+		t.Fatal("reordering should misalign raw counts (4,4 vs 3,5)")
+	}
+	n := PatchUp(pairs)
+	if n != 1 {
+		t.Fatalf("PatchUp migrated %d packets, want 1", n)
+	}
+	for i, p := range pairs {
+		if p.Lost() != 0 {
+			t.Fatalf("pair %d still misaligned after patch-up: lost=%d", i, p.Lost())
+		}
+	}
+}
+
+func TestJoinAlignedUnderJitterReordering(t *testing.T) {
+	// Randomized reordering confined to a J-sized neighborhood: after
+	// JoinAligned, total loss must be exactly zero (nothing dropped).
+	stream := randomStream(15, 60000) // spaced 1000ns
+	const J = 20_000
+	r := stats.NewRNG(31)
+	down := make([]obs, len(stream))
+	copy(down, stream)
+	// Swap ~5% of adjacent pairs (reorder within 1µs << J), keeping
+	// observation times attached to positions, as a real HOP would
+	// timestamp arrivals.
+	for i := 0; i+1 < len(down); i += 2 {
+		if r.Bool(0.05) {
+			down[i].id, down[i+1].id = down[i+1].id, down[i].id
+		}
+	}
+	cfg := Config{CutRate: 0.002, WindowNS: J}
+	a, b := runPair(cfg, cfg, stream, down)
+	pairs := JoinAligned(a, b)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	var lost int64
+	for _, p := range pairs {
+		lost += p.Lost()
+	}
+	if lost != 0 {
+		t.Fatalf("JoinAligned leaves %d phantom losses under pure reordering", lost)
+	}
+}
+
+func TestPatchUpNoWindows(t *testing.T) {
+	// Without AggTrans, PatchUp is a no-op.
+	p := testPath()
+	pairs := []Pair{
+		{A: receipt.AggReceipt{Path: p, Agg: receipt.AggID{First: 1, Last: 2}, PktCnt: 4},
+			B: receipt.AggReceipt{Path: p, Agg: receipt.AggID{First: 1, Last: 2}, PktCnt: 3}},
+		{A: receipt.AggReceipt{Path: p, Agg: receipt.AggID{First: 5, Last: 6}, PktCnt: 4},
+			B: receipt.AggReceipt{Path: p, Agg: receipt.AggID{First: 5, Last: 6}, PktCnt: 5}},
+	}
+	if n := PatchUp(pairs); n != 0 {
+		t.Fatalf("PatchUp migrated %d without windows", n)
+	}
+}
+
+func TestPartitionAlgebraTable1(t *testing.T) {
+	// The paper's Table 1, verbatim.
+	p1, p2, p3, p4 := uint64(1), uint64(2), uint64(3), uint64(4)
+	A1 := Partition{{p1}, {p2}, {p3}, {p4}}
+	A2 := Partition{{p1, p2}, {p3, p4}}
+	A3 := Partition{{p1}, {p2, p3}, {p4}}
+	A3p := Partition{{p1}, {p2}, {p3, p4}}
+	A4 := Partition{{p1, p2, p3, p4}}
+
+	coarser := []struct {
+		hi, lo Partition
+		name   string
+	}{
+		{A2, A1, "A2>=A1"},
+		{A3, A1, "A3>=A1"},
+		{A4, A2, "A4>=A2"},
+		{A4, A3, "A4>=A3"},
+		{A2, A3p, "A2>=A3'"},
+	}
+	for _, c := range coarser {
+		if !c.hi.Coarser(c.lo) {
+			t.Errorf("%s should hold", c.name)
+		}
+	}
+	// "Not all partitions have a >= relationship": A2 vs A3.
+	if A2.Coarser(A3) || A3.Coarser(A2) {
+		t.Error("A2 and A3 must be incomparable")
+	}
+	joins := []struct {
+		a, b, want Partition
+		name       string
+	}{
+		{A1, A2, A2, "Join(A1,A2)=A2"},
+		{A2, A3, A4, "Join(A2,A3)=A4"},
+		{A2, A3p, A2, "Join(A2,A3')=A2"},
+	}
+	for _, j := range joins {
+		got := j.a.JoinWith(j.b)
+		if !got.Equal(j.want) {
+			t.Errorf("%s: got %v", j.name, got)
+		}
+		// Join is symmetric.
+		if !j.b.JoinWith(j.a).Equal(j.want) {
+			t.Errorf("%s reversed: got %v", j.name, j.b.JoinWith(j.a))
+		}
+	}
+}
+
+func TestPartitionCoarserRejectsDifferentSets(t *testing.T) {
+	a := Partition{{1, 2}}
+	b := Partition{{1}, {3}}
+	if a.Coarser(b) {
+		t.Error("partitions of different sets must be incomparable")
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	stream := randomStream(16, 200000)
+	cfg := Config{CutRate: 0.001, WindowNS: 10_000}
+	a, bb := runPair(cfg, Config{CutRate: 0.005, WindowNS: 10_000}, stream, stream)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Join(a, bb)
+	}
+}

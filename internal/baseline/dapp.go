@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"vpm/internal/hashing"
+	"vpm/internal/packet"
+)
+
+// DAAggregate is one §3.3 "Difference Aggregator ++" aggregate record:
+// a packet count and a timestamp sum (the Lossy Difference Aggregator
+// state), identified by the digests of its first and last packets.
+// There is no AggTrans window — that is VPM's addition.
+type DAAggregate struct {
+	First, Last uint64
+	PktCnt      uint64
+	TimeSumNS   int64
+}
+
+// DiffAggregator is one HOP's §3.3 monitor: hash-selected cutting
+// points partition the stream into aggregates carrying counts and
+// timestamp sums. It implements netsim.Observer.
+type DiffAggregator struct {
+	threshold uint64
+	open      DAAggregate
+	hasOpen   bool
+	Aggs      []DAAggregate
+}
+
+// NewDiffAggregator builds a monitor cutting at the given rate.
+func NewDiffAggregator(cutRate float64) *DiffAggregator {
+	return &DiffAggregator{threshold: hashing.ThresholdForRate(cutRate)}
+}
+
+// Observe implements netsim.Observer.
+func (d *DiffAggregator) Observe(_ *packet.Packet, digest uint64, tNS int64) {
+	if hashing.Exceeds(digest, d.threshold) {
+		if d.hasOpen {
+			d.Aggs = append(d.Aggs, d.open)
+		}
+		d.open = DAAggregate{First: digest}
+		d.hasOpen = true
+	} else if !d.hasOpen {
+		d.open = DAAggregate{First: digest}
+		d.hasOpen = true
+	}
+	d.open.Last = digest
+	d.open.PktCnt++
+	d.open.TimeSumNS += tNS
+}
+
+// Flush closes the open aggregate.
+func (d *DiffAggregator) Flush() {
+	if d.hasOpen {
+		d.Aggs = append(d.Aggs, d.open)
+		d.hasOpen = false
+		d.open = DAAggregate{}
+	}
+}
+
+// DAPPEstimate is what a DA++ verifier can compute: exact loss over
+// aligned aggregates and mean delay over loss-free aligned aggregates.
+// Delay quantiles are NOT computable from aggregate sums — the §3.3
+// computability failure.
+type DAPPEstimate struct {
+	// AlignedPairs is how many aggregates matched one-to-one by
+	// first-packet ID; Misaligned counts upstream aggregates that
+	// found no match (reordering or loss of cutting points).
+	AlignedPairs, Misaligned int
+	// In and Lost are summed over aligned pairs only.
+	In, Lost int64
+	// MeanDelayNS is the average delay over aligned, loss-free pairs
+	// ((sumDown - sumUp) / count); NaN-free: zero when no such pair.
+	MeanDelayNS float64
+	// LossFreePairs is the denominator population for MeanDelayNS.
+	LossFreePairs int
+}
+
+// DAPPCompare aligns two monitors' aggregates by first-packet digest
+// and computes what DA++ can: per-aggregate loss and average delay.
+// Aggregates whose boundaries disagree (reordered or lost cutting
+// points) are unusable and counted as Misaligned — the fragility VPM's
+// AggTrans patch-up removes.
+func DAPPCompare(up, down *DiffAggregator) DAPPEstimate {
+	byFirst := make(map[uint64]DAAggregate, len(down.Aggs))
+	for _, a := range down.Aggs {
+		byFirst[a.First] = a
+	}
+	var est DAPPEstimate
+	var delaySum float64
+	for _, ua := range up.Aggs {
+		da, ok := byFirst[ua.First]
+		if !ok || da.Last != ua.Last {
+			// Boundary mismatch: cannot compare counts meaningfully.
+			est.Misaligned++
+			continue
+		}
+		est.AlignedPairs++
+		est.In += int64(ua.PktCnt)
+		lost := int64(ua.PktCnt) - int64(da.PktCnt)
+		est.Lost += lost
+		if lost == 0 && ua.PktCnt > 0 {
+			est.LossFreePairs++
+			delaySum += float64(da.TimeSumNS-ua.TimeSumNS) / float64(ua.PktCnt)
+		}
+	}
+	if est.LossFreePairs > 0 {
+		est.MeanDelayNS = delaySum / float64(est.LossFreePairs)
+	}
+	return est
+}
+
+// LossRate returns the loss rate over aligned aggregates.
+func (e DAPPEstimate) LossRate() float64 {
+	if e.In == 0 {
+		return 0
+	}
+	return float64(e.Lost) / float64(e.In)
+}
+
+// UsableFraction is the fraction of upstream aggregates that survived
+// alignment.
+func (e DAPPEstimate) UsableFraction() float64 {
+	total := e.AlignedPairs + e.Misaligned
+	if total == 0 {
+		return 0
+	}
+	return float64(e.AlignedPairs) / float64(total)
+}

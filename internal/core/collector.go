@@ -1,0 +1,181 @@
+// Package core implements VPM itself — the paper's primary
+// contribution. It ties the substrate packages together into the
+// NetFlow-like monitoring platform of §7:
+//
+//   - Collector: the data-plane module at a HOP. For every packet it
+//     looks up the HOP path, updates the open aggregate receipt
+//     (Algorithm 2), and feeds the temporary packet buffer of the
+//     bias-resistant delay sampler (Algorithm 1). Its per-packet work
+//     is a path lookup, a digest comparison, a counter update and a
+//     buffer append — the "three memory accesses, one hash function,
+//     and one timestamp computation" budget of §7.1.
+//   - Processor: the control-plane module that periodically drains
+//     finalized receipts from the collector and accounts for the
+//     bandwidth they consume.
+//   - Deployment: wires collectors onto every HOP of a simulated path.
+//   - Verifier: consumes receipts from all HOPs of a path, estimates
+//     each domain's loss (exactly, via the aggregate join) and delay
+//     quantiles (probabilistically, via matched samples), and checks
+//     inter-domain consistency to expose liars (§4).
+//   - Adversary helpers: the receipt-fabrication strategies of the
+//     threat model.
+package core
+
+import (
+	"fmt"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/sampling"
+)
+
+// CollectorConfig configures one HOP's collector.
+type CollectorConfig struct {
+	// HOP is the reporting HOP's identity.
+	HOP receipt.HOPID
+	// Table classifies packet addresses into origin prefixes.
+	Table *packet.Table
+	// PathID derives the full PathID (prev/next HOP, MaxDiff) this
+	// HOP stamps on receipts for a given origin-prefix pair.
+	PathID func(key packet.PathKey) receipt.PathID
+	// Sampling configures Algorithm 1 (µ is system-wide, σ local).
+	Sampling sampling.Config
+	// Aggregation configures Algorithm 2 (δ local, J system-wide).
+	Aggregation aggregation.Config
+}
+
+// Validate checks the configuration.
+func (c CollectorConfig) Validate() error {
+	if c.Table == nil {
+		return fmt.Errorf("core: collector needs a prefix table")
+	}
+	if c.PathID == nil {
+		return fmt.Errorf("core: collector needs a PathID builder")
+	}
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
+	return c.Aggregation.Validate()
+}
+
+// pathState is the collector's per-active-path state: one open
+// aggregate receipt and the sampler's temporary buffer (§7.1's
+// monitoring-cache entry).
+type pathState struct {
+	id      receipt.PathID
+	sampler *sampling.Sampler
+	part    *aggregation.Partitioner
+}
+
+// Collector is the data-plane module of one HOP. It implements
+// netsim.Observer. Not safe for concurrent use (a real router shards
+// by interface; shard collectors the same way).
+type Collector struct {
+	cfg   CollectorConfig
+	paths map[packet.PathKey]*pathState
+
+	observed     uint64
+	unclassified uint64
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Collector{cfg: cfg, paths: make(map[packet.PathKey]*pathState)}, nil
+}
+
+// Observe processes one packet observation: classify, aggregate,
+// sample. digest is the packet's 64-bit ID; tNS the HOP's (possibly
+// skewed) observation timestamp.
+func (c *Collector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
+	c.observed++
+	key, ok := c.cfg.Table.Classify(pkt)
+	if !ok {
+		c.unclassified++
+		return
+	}
+	st, ok := c.paths[key]
+	if !ok {
+		id := c.cfg.PathID(key)
+		st = &pathState{
+			id:      id,
+			sampler: sampling.New(c.cfg.Sampling),
+			part:    aggregation.New(c.cfg.Aggregation, id),
+		}
+		c.paths[key] = st
+	}
+	st.part.Observe(digest, tNS)
+	st.sampler.Observe(digest, tNS)
+}
+
+// HOP returns the collector's HOP identity.
+func (c *Collector) HOP() receipt.HOPID { return c.cfg.HOP }
+
+// Drain returns the receipts finalized since the last Drain: one
+// sample receipt per active path (possibly empty ones are skipped)
+// plus all closed aggregate receipts. The control-plane processor
+// calls this periodically.
+func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	var samples []receipt.SampleReceipt
+	var aggs []receipt.AggReceipt
+	for _, st := range c.paths {
+		if recs := st.sampler.Take(); len(recs) > 0 {
+			samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+		}
+		aggs = append(aggs, st.part.Take()...)
+	}
+	return samples, aggs
+}
+
+// Flush finalizes all open state (end of reporting period or stream)
+// and returns the remaining receipts.
+func (c *Collector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	var samples []receipt.SampleReceipt
+	var aggs []receipt.AggReceipt
+	for _, st := range c.paths {
+		aggs = append(aggs, st.part.Flush()...)
+		if recs := st.sampler.Take(); len(recs) > 0 {
+			samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+		}
+	}
+	return samples, aggs
+}
+
+// MemoryStats is the §7.1 memory-budget breakdown of a collector.
+type MemoryStats struct {
+	// ActivePaths is the number of paths with live state.
+	ActivePaths int
+	// MonitoringCacheBytes is the per-path open-receipt state: the
+	// paper's "PathID, AggID, and PktCnt — roughly 20 bytes" per
+	// path, at our encoding's actual size.
+	MonitoringCacheBytes int
+	// TempBufferPeakEntries is the high-water mark of the delay
+	// sampler's temporary packet buffer across paths (entries).
+	TempBufferPeakEntries int
+	// TempBufferPeakBytes converts the peak to bytes at the wire size
+	// of one 〈PktID, Time〉 record.
+	TempBufferPeakBytes int
+}
+
+// Memory reports the collector's current memory accounting.
+func (c *Collector) Memory() MemoryStats {
+	m := MemoryStats{ActivePaths: len(c.paths)}
+	peak := 0
+	for _, st := range c.paths {
+		if hw := st.sampler.TempHighWater(); hw > peak {
+			peak = hw
+		}
+	}
+	m.MonitoringCacheBytes = len(c.paths) * receipt.BaseAggReceiptBytes
+	m.TempBufferPeakEntries = peak
+	m.TempBufferPeakBytes = peak * receipt.SampleRecordBytes
+	return m
+}
+
+// Stats returns (packets observed, packets that matched no prefix).
+func (c *Collector) Stats() (observed, unclassified uint64) {
+	return c.observed, c.unclassified
+}

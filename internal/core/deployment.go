@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/hashing"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/sampling"
+)
+
+// Tuning is one domain's locally chosen resource knobs (§2.2
+// Tunability): its sampling rate σ and its aggregation (cut) rate δ.
+type Tuning struct {
+	// SampleRate is the fraction of packets delay-sampled (beyond the
+	// always-sampled markers).
+	SampleRate float64
+	// AggRate is the cutting-point rate; mean aggregate size is
+	// 1/AggRate packets.
+	AggRate float64
+}
+
+// DeployConfig configures a whole-path VPM deployment.
+type DeployConfig struct {
+	// MarkerRate is the system-wide marker frequency µ (a VPM design
+	// constant, §5.1).
+	MarkerRate float64
+	// WindowNS is the system-wide reordering safety threshold J
+	// (§6.3; the paper's conservative choice is 10 ms).
+	WindowNS int64
+	// Default tuning applies to every domain without an override.
+	Default Tuning
+	// PerDomain overrides tuning for named domains — each domain
+	// chooses its own cost/quality trade-off independently.
+	PerDomain map[string]Tuning
+	// SkipDomains lists domains that have not deployed VPM (§8,
+	// partial deployment): their HOPs produce no receipts.
+	SkipDomains map[string]bool
+}
+
+// DefaultDeployConfig returns the configuration the experiments use as
+// a baseline: markers about once per mille (one per ~10 ms at backbone
+// rates, which bounds the sampling temp buffer exactly as §7.1's J =
+// 10 ms budget does), 1% sampling, one aggregate per ~100k packets
+// (the paper's Figure 3 scenario), and a 2 ms AggTrans window — four
+// times the largest reordering distance measured in the paper's cited
+// Internet study (§6.3, reference [10]), chosen so patch-up state
+// stays a negligible fraction of receipt bandwidth. The ablation
+// benchmarks vary both windows.
+func DefaultDeployConfig() DeployConfig {
+	return DeployConfig{
+		MarkerRate: 0.001,
+		WindowNS:   2_000_000,
+		Default:    Tuning{SampleRate: 0.01, AggRate: 0.00001},
+	}
+}
+
+// DefaultSamplingConfig returns the default Algorithm 1 parameters of
+// DefaultDeployConfig for standalone collector use.
+func DefaultSamplingConfig() sampling.Config {
+	c := DefaultDeployConfig()
+	return sampling.Config{MarkerRate: c.MarkerRate, SampleRate: c.Default.SampleRate}
+}
+
+// DefaultAggregationConfig returns the default Algorithm 2 parameters
+// of DefaultDeployConfig for standalone collector use.
+func DefaultAggregationConfig() aggregation.Config {
+	c := DefaultDeployConfig()
+	return aggregation.Config{CutRate: c.Default.AggRate, WindowNS: c.WindowNS}
+}
+
+// Deployment wires a Collector + Processor pair onto every HOP of a
+// simulated path. It is the integration point the examples and
+// experiments use: build a netsim.Path, deploy, run traffic, then
+// verify.
+type Deployment struct {
+	Path       *netsim.Path
+	Table      *packet.Table
+	Collectors map[receipt.HOPID]*Collector
+	Processors map[receipt.HOPID]*Processor
+
+	markerThreshold  uint64
+	sampleThresholds map[receipt.HOPID]uint64
+}
+
+// NewDeployment builds collectors for every HOP of every deploying
+// domain on the path.
+func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*Deployment, error) {
+	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Path:             path,
+		Table:            table,
+		Collectors:       make(map[receipt.HOPID]*Collector),
+		Processors:       make(map[receipt.HOPID]*Processor),
+		markerThreshold:  hashing.ThresholdForRate(cfg.MarkerRate),
+		sampleThresholds: make(map[receipt.HOPID]uint64),
+	}
+	for di := range path.Domains {
+		dom := &path.Domains[di]
+		if cfg.SkipDomains[dom.Name] {
+			continue
+		}
+		tune, ok := cfg.PerDomain[dom.Name]
+		if !ok {
+			tune = cfg.Default
+		}
+		in, eg := path.HOPsOf(di)
+		hops := []struct {
+			id      receipt.HOPID
+			ingress bool
+		}{{in, true}}
+		if eg != in {
+			hops = append(hops, struct {
+				id      receipt.HOPID
+				ingress bool
+			}{eg, false})
+		}
+		for _, h := range hops {
+			di, ingress := di, h.ingress
+			col, err := NewCollector(CollectorConfig{
+				HOP:   h.id,
+				Table: table,
+				PathID: func(key packet.PathKey) receipt.PathID {
+					return path.PathIDFor(receipt.PathID{Key: key}, di, ingress)
+				},
+				Sampling: sampling.Config{
+					MarkerRate: cfg.MarkerRate,
+					SampleRate: tune.SampleRate,
+				},
+				Aggregation: aggregation.Config{
+					CutRate:  tune.AggRate,
+					WindowNS: cfg.WindowNS,
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: HOP %v: %w", h.id, err)
+			}
+			d.Collectors[h.id] = col
+			d.Processors[h.id] = NewProcessor(col)
+			d.sampleThresholds[h.id] = hashing.ThresholdForRate(tune.SampleRate)
+		}
+	}
+	return d, nil
+}
+
+// Observers adapts the deployment's collectors to the simulator.
+func (d *Deployment) Observers() map[receipt.HOPID]netsim.Observer {
+	out := make(map[receipt.HOPID]netsim.Observer, len(d.Collectors))
+	for id, c := range d.Collectors {
+		out[id] = c
+	}
+	return out
+}
+
+// Finalize flushes every collector into its processor. Call after the
+// simulation run, before building verifiers.
+func (d *Deployment) Finalize() {
+	for _, p := range d.Processors {
+		p.Finalize()
+	}
+}
+
+// Layout derives the verifier's path layout from the simulated path.
+func (d *Deployment) Layout() Layout {
+	p := d.Path
+	var l Layout
+	for di := range p.Domains {
+		in, eg := p.HOPsOf(di)
+		if di > 0 {
+			_, prevEg := p.HOPsOf(di - 1)
+			l.Segments = append(l.Segments, Segment{
+				Kind: LinkSegment,
+				Up:   prevEg,
+				Down: in,
+				Name: fmt.Sprintf("%s-%s", p.Domains[di-1].Name, p.Domains[di].Name),
+			})
+		}
+		l.HOPs = append(l.HOPs, in)
+		if eg != in {
+			l.Segments = append(l.Segments, Segment{
+				Kind: DomainSegment,
+				Up:   in,
+				Down: eg,
+				Name: p.Domains[di].Name,
+			})
+			l.HOPs = append(l.HOPs, eg)
+		}
+	}
+	return l
+}
+
+// NewVerifier builds a verifier over the deployment's receipts for
+// one origin-prefix path key, ingesting every HOP's combined sample
+// receipt and aggregate receipts for that key.
+func (d *Deployment) NewVerifier(key packet.PathKey) *Verifier {
+	v := NewVerifier(d.Layout())
+	v.SetConfig(VerifierConfig{
+		MarkerThreshold:  d.markerThreshold,
+		SampleThresholds: d.sampleThresholds,
+	})
+	// Deterministic iteration order for reproducibility.
+	hops := make([]int, 0, len(d.Processors))
+	for id := range d.Processors {
+		hops = append(hops, int(id))
+	}
+	sort.Ints(hops)
+	for _, hi := range hops {
+		id := receipt.HOPID(hi)
+		proc := d.Processors[id]
+		for _, s := range proc.CombinedSamples() {
+			if s.Path.Key == key {
+				v.AddSampleReceipt(id, s)
+			}
+		}
+		var aggs []receipt.AggReceipt
+		for _, a := range proc.Aggs {
+			if a.Path.Key == key {
+				aggs = append(aggs, a)
+			}
+		}
+		v.AddAggReceipts(id, aggs)
+	}
+	return v
+}
+
+// VerifierConfig returns the deployment constants a hand-built
+// Verifier needs (see Verifier.SetConfig); Deployment.NewVerifier
+// applies them automatically.
+func (d *Deployment) VerifierConfig() VerifierConfig {
+	return VerifierConfig{
+		MarkerThreshold:  d.markerThreshold,
+		SampleThresholds: d.sampleThresholds,
+	}
+}
+
+// TotalReceiptBytes sums the receipt bandwidth of all HOPs — the
+// numerator of the path's §7.1 bandwidth overhead.
+func (d *Deployment) TotalReceiptBytes() int64 {
+	var total int64
+	for _, p := range d.Processors {
+		total += p.ReceiptBytes()
+	}
+	return total
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/hashing"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+)
+
+// SegmentKind distinguishes the two kinds of adjacency on a path.
+type SegmentKind int
+
+// Segment kinds.
+const (
+	// LinkSegment is an inter-domain link between two HOPs of
+	// different domains — where consistency is checked.
+	LinkSegment SegmentKind = iota
+	// DomainSegment is an intra-domain crossing between a domain's
+	// ingress and egress HOPs — where performance is estimated.
+	DomainSegment
+)
+
+// Segment is one adjacency of the path layout.
+type Segment struct {
+	Kind     SegmentKind
+	Up, Down receipt.HOPID
+	// Name is the domain name for DomainSegment, or "A-B" for links.
+	Name string
+}
+
+// Layout describes a linear path's HOPs in order and its segments.
+// The verifier needs it to know which HOP pairs are links (checked for
+// consistency) and which are domains (estimated for performance).
+type Layout struct {
+	HOPs     []receipt.HOPID
+	Segments []Segment
+}
+
+// DomainSegmentByName finds the domain segment with the given name.
+func (l Layout) DomainSegmentByName(name string) (Segment, bool) {
+	for _, s := range l.Segments {
+		if s.Kind == DomainSegment && s.Name == name {
+			return s, true
+		}
+	}
+	return Segment{}, false
+}
+
+// VerifierConfig carries the deployment constants a verifier needs to
+// reason about sampling expectations across HOPs with different rates.
+type VerifierConfig struct {
+	// MarkerThreshold is the system-wide µ (hashing.ThresholdForRate
+	// of the marker rate). Zero means unknown: the verifier then
+	// treats every upstream sample as expected downstream (strict
+	// mode, correct only when all HOPs share one rate).
+	MarkerThreshold uint64
+	// SampleThresholds maps each HOP to its advertised σ. Missing
+	// entries fall back to strict mode for that HOP.
+	SampleThresholds map[receipt.HOPID]uint64
+	// MissingToleranceFraction and MissingToleranceFloor bound the
+	// unexplained missing sample records a link check absorbs as
+	// reordering noise (§5.3) before declaring inconsistency. Zero
+	// values select the defaults (5% of matched samples, floor 10) —
+	// an order of magnitude below what fabrication or under-reporting
+	// lies produce, and above what heavy jitter causes on honest
+	// links.
+	MissingToleranceFraction float64
+	MissingToleranceFloor    int
+}
+
+// Verifier is a receipt collector for one HOP path: it ingests
+// receipts from every HOP, estimates each domain's loss and delay, and
+// checks consistency across every inter-domain link (§4). The paper's
+// verifiability argument requires collecting from all HOPs on the
+// path — a verifier that sees only a segment cannot expose collusions
+// (§3.1).
+type Verifier struct {
+	layout Layout
+	cfg    VerifierConfig
+
+	samples map[receipt.HOPID]map[uint64]int64 // hop -> pktID -> time
+	ordered map[receipt.HOPID][]receipt.SampleRecord
+	pathIDs map[receipt.HOPID]receipt.PathID
+	aggs    map[receipt.HOPID][]receipt.AggReceipt
+}
+
+// NewVerifier builds a verifier for the given path layout.
+func NewVerifier(layout Layout) *Verifier {
+	return &Verifier{
+		layout:  layout,
+		samples: make(map[receipt.HOPID]map[uint64]int64),
+		ordered: make(map[receipt.HOPID][]receipt.SampleRecord),
+		pathIDs: make(map[receipt.HOPID]receipt.PathID),
+		aggs:    make(map[receipt.HOPID][]receipt.AggReceipt),
+	}
+}
+
+// SetConfig installs the deployment constants (see VerifierConfig).
+func (v *Verifier) SetConfig(cfg VerifierConfig) { v.cfg = cfg }
+
+// AddSampleReceipt ingests one HOP's sample receipt.
+func (v *Verifier) AddSampleReceipt(hop receipt.HOPID, r receipt.SampleReceipt) {
+	m, ok := v.samples[hop]
+	if !ok {
+		m = make(map[uint64]int64, len(r.Samples))
+		v.samples[hop] = m
+	}
+	for _, s := range r.Samples {
+		m[s.PktID] = s.TimeNS
+	}
+	v.ordered[hop] = append(v.ordered[hop], r.Samples...)
+	v.pathIDs[hop] = r.Path
+}
+
+// AddAggReceipts ingests one HOP's aggregate receipts, in stream
+// order.
+func (v *Verifier) AddAggReceipts(hop receipt.HOPID, rs []receipt.AggReceipt) {
+	v.aggs[hop] = append(v.aggs[hop], rs...)
+	if len(rs) > 0 {
+		v.pathIDs[hop] = rs[0].Path
+	}
+}
+
+// SampleCount returns the number of distinct sampled packets ingested
+// for a HOP.
+func (v *Verifier) SampleCount(hop receipt.HOPID) int { return len(v.samples[hop]) }
+
+// DelaysBetween returns the per-packet delays (nanoseconds, as
+// float64 for the statistics layer) of the packets sampled by both
+// HOPs: Rb.Time − Ra.Time per common PktID (§4, Receipt-based
+// Statistics).
+func (v *Verifier) DelaysBetween(a, b receipt.HOPID) []float64 {
+	sa, sb := v.samples[a], v.samples[b]
+	if len(sa) == 0 || len(sb) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(sb))
+	for id, tb := range sb {
+		if ta, ok := sa[id]; ok {
+			out = append(out, float64(tb-ta))
+		}
+	}
+	return out
+}
+
+// MarkerBiasReport is the outcome of the marker-preference check — an
+// extension beyond the paper. Markers are the one part of VPM's sample
+// set a domain can predict at forwarding time (µ is a public system
+// constant), so a domain could treat markers preferentially: its loss
+// accounting stays exact, but steep delay tails can be flattered
+// because the always-sampled markers skip the congestion the σ-keyed
+// samples suffer. The check compares the delay distributions of marker
+// and non-marker samples between a domain's HOPs; honest treatment
+// makes them statistically indistinguishable (markers are
+// hash-selected, hence a uniform subsample).
+type MarkerBiasReport struct {
+	MarkerN, OtherN           int
+	MarkerP90MS, OtherP90MS   float64
+	MarkerMeanMS, OtherMeanMS float64
+	// Suspicious is set when markers are systematically faster than
+	// σ-keyed samples beyond sampling noise.
+	Suspicious bool
+}
+
+// CheckMarkerBias compares marker vs non-marker delay distributions
+// between two HOPs. It requires the verifier's MarkerThreshold to be
+// configured.
+func (v *Verifier) CheckMarkerBias(a, b receipt.HOPID) (MarkerBiasReport, error) {
+	var rep MarkerBiasReport
+	mu := v.cfg.MarkerThreshold
+	if mu == 0 {
+		return rep, fmt.Errorf("core: marker threshold not configured")
+	}
+	sa, sb := v.samples[a], v.samples[b]
+	var markers, others []float64
+	for id, tb := range sb {
+		ta, ok := sa[id]
+		if !ok {
+			continue
+		}
+		d := float64(tb - ta)
+		if hashing.Exceeds(id, mu) {
+			markers = append(markers, d)
+		} else {
+			others = append(others, d)
+		}
+	}
+	rep.MarkerN, rep.OtherN = len(markers), len(others)
+	if len(markers) < 10 || len(others) < 10 {
+		return rep, fmt.Errorf("core: too few samples to judge marker bias (%d markers, %d others)",
+			len(markers), len(others))
+	}
+	rep.MarkerP90MS = stats.Quantile(markers, 0.9) / 1e6
+	rep.OtherP90MS = stats.Quantile(others, 0.9) / 1e6
+	rep.MarkerMeanMS = stats.Mean(markers) / 1e6
+	rep.OtherMeanMS = stats.Mean(others) / 1e6
+	// Honest markers are a uniform subsample: their median should sit
+	// inside the others' distribution. Flag when the marker p90 falls
+	// below the others' median — far outside subsampling noise for
+	// the populations required above.
+	otherP50 := stats.Quantile(others, 0.5) / 1e6
+	rep.Suspicious = rep.MarkerP90MS < otherP50
+	return rep, nil
+}
+
+// CorroboratedDelays returns the delays between HOPs a and b
+// restricted to the packets that HOP witness also sampled — the
+// subset of a domain's claims a third party can actually verify.
+// The §7.2 verifiability analysis is built on this: the witness's
+// sampling rate caps the quality of verification.
+func (v *Verifier) CorroboratedDelays(a, b, witness receipt.HOPID) []float64 {
+	sa, sb, sw := v.samples[a], v.samples[b], v.samples[witness]
+	if len(sa) == 0 || len(sb) == 0 || len(sw) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(sw))
+	for id := range sw {
+		ta, okA := sa[id]
+		tb, okB := sb[id]
+		if okA && okB {
+			out = append(out, float64(tb-ta))
+		}
+	}
+	return out
+}
+
+// DelayQuantiles estimates the delay quantiles of the traffic between
+// two HOPs from their matched samples.
+func (v *Verifier) DelayQuantiles(a, b receipt.HOPID, qs []float64, confidence float64) ([]quantile.Estimate, error) {
+	delays := v.DelaysBetween(a, b)
+	if len(delays) == 0 {
+		return nil, fmt.Errorf("core: no matched samples between %v and %v", a, b)
+	}
+	return quantile.Quantiles(delays, qs, confidence)
+}
+
+// LossReport is the aggregate-based loss computation between two HOPs.
+type LossReport struct {
+	// Pairs are the joined (and patch-up aligned) aggregates.
+	Pairs []aggregation.Pair
+	// In is the total packets the upstream HOP counted; Lost is the
+	// total difference.
+	In, Lost int64
+	// Migrations counts packets the §6.3 patch-up moved across
+	// cutting points.
+	Migrations int
+}
+
+// Rate returns the measured loss rate.
+func (r LossReport) Rate() float64 {
+	if r.In == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(r.In)
+}
+
+// LossBetween computes the loss between two HOPs from their aggregate
+// receipts via the §6 join + patch-up pipeline.
+func (v *Verifier) LossBetween(a, b receipt.HOPID) (LossReport, error) {
+	ra, rb := v.aggs[a], v.aggs[b]
+	if len(ra) == 0 || len(rb) == 0 {
+		return LossReport{}, fmt.Errorf("core: missing aggregate receipts between %v and %v", a, b)
+	}
+	pairs := aggregation.Join(ra, rb)
+	mig := aggregation.PatchUp(pairs)
+	rep := LossReport{Pairs: pairs, Migrations: mig}
+	for _, p := range pairs {
+		rep.In += int64(p.A.PktCnt)
+		rep.Lost += p.Lost()
+	}
+	return rep, nil
+}
+
+// LinkVerdict is the outcome of checking one inter-domain link.
+type LinkVerdict struct {
+	Up, Down receipt.HOPID
+	// Violations found (empty = consistent).
+	Violations []receipt.Inconsistency
+	// MatchedSamples is how many sampled packets both ends reported.
+	MatchedSamples int
+	// MissingDown and MissingUp count the unexplained missing records
+	// in each direction, whether or not they crossed the noise
+	// tolerance into Violations.
+	MissingDown, MissingUp int
+}
+
+// Consistent reports whether the link's receipts agree.
+func (lv LinkVerdict) Consistent() bool { return len(lv.Violations) == 0 }
+
+// String renders the verdict.
+func (lv LinkVerdict) String() string {
+	if lv.Consistent() {
+		return fmt.Sprintf("link %v-%v: consistent (%d matched samples)", lv.Up, lv.Down, lv.MatchedSamples)
+	}
+	return fmt.Sprintf("link %v-%v: %d violations, e.g. %v", lv.Up, lv.Down, len(lv.Violations), lv.Violations[0])
+}
+
+// missingTolerance returns the number of unexplained missing sample
+// records a link check absorbs as noise before declaring
+// inconsistency. Reordering across a marker boundary legitimately
+// desynchronizes the sample sets of two honest HOPs for the packets
+// near the marker (§5.3), so missing records bounded by a small
+// fraction of the matched samples must not condemn a link.
+func (v *Verifier) missingTolerance(matched int) int {
+	frac := v.cfg.MissingToleranceFraction
+	if frac <= 0 {
+		frac = 0.05
+	}
+	floor := v.cfg.MissingToleranceFloor
+	if floor <= 0 {
+		floor = 10
+	}
+	tol := int(float64(matched) * frac)
+	if tol < floor {
+		tol = floor
+	}
+	return tol
+}
+
+// CheckLink verifies the receipts of the two HOPs at the ends of one
+// inter-domain link (§4): MaxDiff agreement, the timestamp bound on
+// commonly sampled packets, missing-record checks under the subset
+// property, and aggregate count equality over the joined aggregates.
+//
+// Missing-record semantics: a packet the upstream HOP claims to have
+// delivered is expected in the downstream receipt exactly when the
+// downstream HOP's advertised sampling threshold would have selected
+// it (the verifier re-derives the Algorithm 1 decision). Expected but
+// missing records beyond a small reordering-noise tolerance are
+// inconsistencies — caused either by a faulty link or by a lie; the
+// two neighbors then debug the link, and if it is healthy the liar
+// stands exposed to the neighbor it implicated (§3.1).
+func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
+	lv := LinkVerdict{Up: up, Down: down}
+	pu, hasU := v.pathIDs[up]
+	pd, hasD := v.pathIDs[down]
+	if hasU && hasD && pu.MaxDiffNS != pd.MaxDiffNS {
+		lv.Violations = append(lv.Violations, receipt.Inconsistency{
+			Kind:   receipt.MaxDiffMismatch,
+			Detail: fmt.Sprintf("%v advertises %dns, %v advertises %dns", up, pu.MaxDiffNS, down, pd.MaxDiffNS),
+		})
+	}
+	maxDiff := pu.MaxDiffNS
+
+	su, sd := v.samples[up], v.samples[down]
+	var missingDown, missingUp []receipt.Inconsistency
+	for id, tu := range su {
+		td, ok := sd[id]
+		if !ok {
+			if v.expectedSampled(up, down, id) {
+				missingDown = append(missingDown, receipt.Inconsistency{
+					Kind:  receipt.MissingDownstream,
+					PktID: id,
+					Detail: fmt.Sprintf("delivered by %v, unreported by %v",
+						up, down),
+				})
+			}
+			continue
+		}
+		lv.MatchedSamples++
+		if delta := td - tu; delta > maxDiff {
+			lv.Violations = append(lv.Violations, receipt.Inconsistency{
+				Kind:   receipt.DelayBound,
+				PktID:  id,
+				Detail: fmt.Sprintf("link delta %dns exceeds MaxDiff %dns", delta, maxDiff),
+			})
+		}
+	}
+	for id := range sd {
+		if _, ok := su[id]; !ok {
+			if v.expectedSampled(down, up, id) {
+				missingUp = append(missingUp, receipt.Inconsistency{
+					Kind:  receipt.MissingUpstream,
+					PktID: id,
+					Detail: fmt.Sprintf("reported received by %v, never reported delivered by %v",
+						down, up),
+				})
+			}
+		}
+	}
+	lv.MissingDown, lv.MissingUp = len(missingDown), len(missingUp)
+	tol := v.missingTolerance(lv.MatchedSamples)
+	if lv.MissingDown > tol {
+		lv.Violations = append(lv.Violations, missingDown...)
+	}
+	if lv.MissingUp > tol {
+		lv.Violations = append(lv.Violations, missingUp...)
+	}
+
+	// Aggregate counts across the link.
+	if ra, rb := v.aggs[up], v.aggs[down]; len(ra) > 0 && len(rb) > 0 {
+		pairs := aggregation.JoinAligned(ra, rb)
+		for _, p := range pairs {
+			lv.Violations = append(lv.Violations, receipt.CheckAggPair(p.A, p.B)...)
+		}
+	}
+	return lv
+}
+
+// expectedSampled reports whether HOP `other` must have sampled packet
+// id, given that HOP `reporter` sampled it. It re-derives the Algorithm
+// 1 decision: find the marker that keyed id in reporter's sample
+// timeline (the first marker at or after id's observation — markers
+// are the samples whose digest exceeds the system-wide µ) and test
+// SampleFcn(id, marker) against other's advertised σ. Markers
+// themselves are always expected. Without deployment constants the
+// verifier is strict: everything is expected (correct when all HOPs
+// share one rate).
+func (v *Verifier) expectedSampled(reporter, other receipt.HOPID, id uint64) bool {
+	mu := v.cfg.MarkerThreshold
+	if mu == 0 {
+		return true
+	}
+	if hashing.Exceeds(id, mu) {
+		return true // markers are always sampled everywhere
+	}
+	sigma, ok := v.cfg.SampleThresholds[other]
+	if !ok {
+		return true
+	}
+	t, ok := v.samples[reporter][id]
+	if !ok {
+		return true
+	}
+	// Find the earliest marker at or after t in reporter's samples.
+	var marker uint64
+	var markerT int64 = -1
+	for _, s := range v.ordered[reporter] {
+		if s.TimeNS < t || !hashing.Exceeds(s.PktID, mu) {
+			continue
+		}
+		if markerT < 0 || s.TimeNS < markerT {
+			marker, markerT = s.PktID, s.TimeNS
+		}
+	}
+	if markerT < 0 {
+		// No marker followed: the reporter could not have sampled id
+		// through Algorithm 1 either; don't expect it elsewhere.
+		return false
+	}
+	return hashing.Exceeds(hashing.SampleFcn(id, marker), sigma)
+}
+
+// VerifyAllLinks checks every inter-domain link on the path.
+func (v *Verifier) VerifyAllLinks() []LinkVerdict {
+	var out []LinkVerdict
+	for _, s := range v.layout.Segments {
+		if s.Kind == LinkSegment {
+			out = append(out, v.CheckLink(s.Up, s.Down))
+		}
+	}
+	return out
+}
+
+// DomainReport is a verifier's estimate of one domain's performance.
+type DomainReport struct {
+	Name             string
+	Ingress, Egress  receipt.HOPID
+	Loss             LossReport
+	DelaySamples     int
+	DelayEstimates   []quantile.Estimate
+	DelayEstimateErr string // non-empty when no samples matched
+}
+
+// DomainReport estimates the named domain's loss and delay from its
+// own receipts.
+func (v *Verifier) DomainReport(name string, qs []float64, confidence float64) (DomainReport, error) {
+	seg, ok := v.layout.DomainSegmentByName(name)
+	if !ok {
+		return DomainReport{}, fmt.Errorf("core: no domain %q in layout", name)
+	}
+	rep := DomainReport{Name: name, Ingress: seg.Up, Egress: seg.Down}
+	loss, err := v.LossBetween(seg.Up, seg.Down)
+	if err == nil {
+		rep.Loss = loss
+	}
+	delays := v.DelaysBetween(seg.Up, seg.Down)
+	rep.DelaySamples = len(delays)
+	if len(delays) > 0 {
+		ests, err := quantile.Quantiles(delays, qs, confidence)
+		if err != nil {
+			return rep, err
+		}
+		rep.DelayEstimates = ests
+	} else {
+		rep.DelayEstimateErr = "no matched samples"
+	}
+	return rep, nil
+}

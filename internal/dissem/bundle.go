@@ -1,0 +1,148 @@
+// Package dissem realizes the paper's Assumption 2 (§2.3): "there
+// exists a way for a domain in path P to disseminate receipts to all
+// other domains in P, such that the authenticity and integrity of each
+// received receipt is guaranteed." Receipts are batched into bundles,
+// canonically encoded, signed with the origin HOP's ed25519 key, and
+// served over HTTP (the paper's suggested realization is an
+// administrative web-site over HTTPS; wrap the handler in a TLS
+// listener for the full equivalent).
+package dissem
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vpm/internal/receipt"
+)
+
+// Bundle is one reporting interval's worth of receipts from one HOP.
+type Bundle struct {
+	// Origin is the reporting HOP.
+	Origin receipt.HOPID
+	// Seq is the bundle sequence number (monotonic per origin).
+	Seq uint64
+	// Samples and Aggs are the interval's receipts.
+	Samples []receipt.SampleReceipt
+	Aggs    []receipt.AggReceipt
+}
+
+// bundleMagic guards the canonical encoding.
+var bundleMagic = [4]byte{'V', 'P', 'M', 'B'}
+
+// ErrCorruptBundle reports a malformed bundle encoding.
+var ErrCorruptBundle = errors.New("dissem: corrupt bundle")
+
+// Encode produces the canonical binary form that signatures cover.
+func (b *Bundle) Encode() []byte {
+	out := append([]byte{}, bundleMagic[:]...)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.Origin))
+	binary.LittleEndian.PutUint64(hdr[4:12], b.Seq)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(b.Samples)))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(b.Aggs)))
+	out = append(out, hdr[:]...)
+	for _, s := range b.Samples {
+		out = s.AppendBinary(out)
+	}
+	for _, a := range b.Aggs {
+		out = a.AppendBinary(out)
+	}
+	return out
+}
+
+// DecodeBundle parses a canonical bundle encoding.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	if len(data) < 24 || [4]byte(data[0:4]) != bundleMagic {
+		return nil, ErrCorruptBundle
+	}
+	b := &Bundle{
+		Origin: receipt.HOPID(binary.LittleEndian.Uint32(data[4:8])),
+		Seq:    binary.LittleEndian.Uint64(data[8:16]),
+	}
+	nSamples := binary.LittleEndian.Uint32(data[16:20])
+	nAggs := binary.LittleEndian.Uint32(data[20:24])
+	rest := data[24:]
+	for i := uint32(0); i < nSamples; i++ {
+		s, _, r, err := receipt.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sample %d: %v", ErrCorruptBundle, i, err)
+		}
+		if s == nil {
+			return nil, fmt.Errorf("%w: sample %d has wrong kind", ErrCorruptBundle, i)
+		}
+		b.Samples = append(b.Samples, *s)
+		rest = r
+	}
+	for i := uint32(0); i < nAggs; i++ {
+		_, a, r, err := receipt.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: agg %d: %v", ErrCorruptBundle, i, err)
+		}
+		if a == nil {
+			return nil, fmt.Errorf("%w: agg %d has wrong kind", ErrCorruptBundle, i)
+		}
+		b.Aggs = append(b.Aggs, *a)
+		rest = r
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptBundle, len(rest))
+	}
+	return b, nil
+}
+
+// SignedBundle is a bundle encoding plus its ed25519 signature.
+type SignedBundle struct {
+	Payload []byte `json:"payload"`
+	Sig     []byte `json:"sig"`
+}
+
+// Signer holds a HOP's signing key.
+type Signer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSigner derives a signer deterministically from a 32-byte seed
+// (deterministic keys keep simulations reproducible; production would
+// use crypto/rand via ed25519.GenerateKey).
+func NewSigner(seed [32]byte) *Signer {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Signer{priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// Public returns the verification key to register with peers.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Sign encodes and signs a bundle.
+func (s *Signer) Sign(b *Bundle) SignedBundle {
+	payload := b.Encode()
+	return SignedBundle{Payload: payload, Sig: ed25519.Sign(s.priv, payload)}
+}
+
+// ErrBadSignature reports signature verification failure.
+var ErrBadSignature = errors.New("dissem: bad signature")
+
+// ErrWrongOrigin reports a bundle claiming a different origin HOP than
+// the key it was verified against.
+var ErrWrongOrigin = errors.New("dissem: bundle origin mismatch")
+
+// Verify checks a signed bundle against pub and the expected origin
+// HOP, returning the decoded bundle.
+func Verify(pub ed25519.PublicKey, origin receipt.HOPID, sb SignedBundle) (*Bundle, error) {
+	if !ed25519.Verify(pub, sb.Payload, sb.Sig) {
+		return nil, ErrBadSignature
+	}
+	b, err := DecodeBundle(sb.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if b.Origin != origin {
+		return nil, fmt.Errorf("%w: claims %v, key belongs to %v", ErrWrongOrigin, b.Origin, origin)
+	}
+	return b, nil
+}
+
+// Registry maps HOPs to their registered verification keys.
+type Registry map[receipt.HOPID]ed25519.PublicKey

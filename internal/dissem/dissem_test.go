@@ -1,0 +1,229 @@
+package dissem
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+)
+
+func seedOf(b byte) [32]byte {
+	var s [32]byte
+	s[0] = b
+	return s
+}
+
+func sampleBundle(origin receipt.HOPID, seq uint64) *Bundle {
+	path := receipt.PathKeyOf(
+		packet.MakePrefix(10, 1, 0, 0, 16),
+		packet.MakePrefix(172, 16, 0, 0, 16),
+		4, 5, 2_000_000)
+	return &Bundle{
+		Origin: origin,
+		Seq:    seq,
+		Samples: []receipt.SampleReceipt{{
+			Path:    path,
+			Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 2}, {PktID: 3, TimeNS: 4}},
+		}},
+		Aggs: []receipt.AggReceipt{{
+			Path:     path,
+			Agg:      receipt.AggID{First: 9, Last: 11},
+			PktCnt:   100,
+			AggTrans: []receipt.SampleRecord{{PktID: 11, TimeNS: 50}},
+		}},
+	}
+}
+
+func TestBundleEncodeDecode(t *testing.T) {
+	b := sampleBundle(4, 7)
+	enc := b.Encode()
+	got, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != 4 || got.Seq != 7 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Samples) != 1 || len(got.Samples[0].Samples) != 2 {
+		t.Fatalf("samples mismatch: %+v", got.Samples)
+	}
+	if len(got.Aggs) != 1 || got.Aggs[0].PktCnt != 100 || len(got.Aggs[0].AggTrans) != 1 {
+		t.Fatalf("aggs mismatch: %+v", got.Aggs)
+	}
+}
+
+func TestBundleDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleBundle(4, 7).Encode()
+	if _, err := DecodeBundle(enc[:10]); err == nil {
+		t.Error("truncated bundle accepted")
+	}
+	if _, err := DecodeBundle(append(enc, 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = 'X'
+	if _, err := DecodeBundle(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	s := NewSigner(seedOf(1))
+	b := sampleBundle(4, 0)
+	sb := s.Sign(b)
+	got, err := Verify(s.Public(), 4, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 0 || got.Origin != 4 {
+		t.Fatalf("verified bundle mismatch: %+v", got)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	s := NewSigner(seedOf(2))
+	sb := s.Sign(sampleBundle(4, 0))
+	sb.Payload[30] ^= 0xff
+	if _, err := Verify(s.Public(), 4, sb); err != ErrBadSignature {
+		t.Errorf("tampered payload: err = %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	s1, s2 := NewSigner(seedOf(3)), NewSigner(seedOf(4))
+	sb := s1.Sign(sampleBundle(4, 0))
+	if _, err := Verify(s2.Public(), 4, sb); err != ErrBadSignature {
+		t.Errorf("wrong key: err = %v", err)
+	}
+}
+
+func TestVerifyRejectsOriginSpoof(t *testing.T) {
+	// HOP 5's key signs a bundle claiming to be from HOP 4.
+	s := NewSigner(seedOf(5))
+	sb := s.Sign(sampleBundle(4, 0))
+	if _, err := Verify(s.Public(), 5, sb); err == nil {
+		t.Error("origin spoof accepted")
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a, b := NewSigner(seedOf(6)), NewSigner(seedOf(6))
+	if string(a.Public()) != string(b.Public()) {
+		t.Error("same seed produced different keys")
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	signer := NewSigner(seedOf(7))
+	srv := NewServer(4, signer)
+	b := sampleBundle(4, 0)
+	srv.Publish(b.Samples, b.Aggs)
+	srv.Publish(nil, b.Aggs)
+	if srv.BundleCount() != 2 {
+		t.Fatalf("bundle count %d", srv.BundleCount())
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := &Client{Registry: Registry{4: signer.Public()}}
+	got, err := client.Fetch(context.Background(), ts.URL, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fetched %d bundles, want 2", len(got))
+	}
+	if len(got[0].Samples) != 1 || len(got[1].Samples) != 0 {
+		t.Fatal("bundle contents mismatch")
+	}
+
+	// Incremental fetch.
+	got, err = client.Fetch(context.Background(), ts.URL, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("since-fetch returned %d bundles", len(got))
+	}
+
+	// Past the end.
+	got, err = client.Fetch(context.Background(), ts.URL, 4, 10)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("past-end fetch: %v, %d bundles", err, len(got))
+	}
+}
+
+func TestHTTPRejectsUnregisteredOrigin(t *testing.T) {
+	signer := NewSigner(seedOf(8))
+	srv := NewServer(4, signer)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &Client{Registry: Registry{}}
+	if _, err := client.Fetch(context.Background(), ts.URL, 4, 0); err == nil {
+		t.Error("fetch without registered key accepted")
+	}
+}
+
+func TestHTTPRejectsForgedServer(t *testing.T) {
+	// Server signs with a key other than the one the client
+	// registered for HOP 4: every bundle must be rejected.
+	evil := NewSigner(seedOf(9))
+	srv := NewServer(4, evil)
+	b := sampleBundle(4, 0)
+	srv.Publish(b.Samples, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	legit := NewSigner(seedOf(10))
+	client := &Client{Registry: Registry{4: legit.Public()}}
+	if _, err := client.Fetch(context.Background(), ts.URL, 4, 0); err == nil {
+		t.Error("forged bundles accepted")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := NewServer(4, NewSigner(seedOf(11)))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("POST status %d, want 405", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "?since=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad since status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBus(t *testing.T) {
+	signer := NewSigner(seedOf(12))
+	srv := NewServer(4, signer)
+	b := sampleBundle(4, 0)
+	srv.Publish(b.Samples, b.Aggs)
+	bus := NewBus()
+	bus.Attach(srv)
+	reg := Registry{4: signer.Public()}
+	got, err := bus.Collect(reg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("collected %d bundles", len(got))
+	}
+	if _, err := bus.Collect(reg, 9); err == nil {
+		t.Error("missing HOP accepted")
+	}
+	if _, err := bus.Collect(Registry{}, 4); err == nil {
+		t.Error("missing key accepted")
+	}
+}

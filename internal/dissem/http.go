@@ -1,0 +1,171 @@
+package dissem
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vpm/internal/receipt"
+)
+
+// Server publishes one HOP's signed receipt bundles over HTTP. Mount
+// it at a path of your choice; GET ?since=N returns all bundles with
+// Seq >= N as a JSON array of SignedBundle. Wrap in TLS for the
+// paper's HTTPS web-site realization.
+type Server struct {
+	hop    receipt.HOPID
+	signer *Signer
+
+	mu      sync.RWMutex
+	bundles []SignedBundle
+	nextSeq uint64
+}
+
+// NewServer builds a publisher for one HOP.
+func NewServer(hop receipt.HOPID, signer *Signer) *Server {
+	return &Server{hop: hop, signer: signer}
+}
+
+// Publish signs and retains the given receipts as the next bundle,
+// returning its sequence number.
+func (s *Server) Publish(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	s.nextSeq++
+	b := &Bundle{Origin: s.hop, Seq: seq, Samples: samples, Aggs: aggs}
+	s.bundles = append(s.bundles, s.signer.Sign(b))
+	return seq
+}
+
+// BundleCount returns how many bundles have been published.
+func (s *Server) BundleCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bundles)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	since := uint64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	s.mu.RLock()
+	var out []SignedBundle
+	if since < uint64(len(s.bundles)) {
+		out = append(out, s.bundles[since:]...)
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+// Client fetches and authenticates bundles from HOP servers.
+type Client struct {
+	// HTTP is the underlying client (http.DefaultClient if nil).
+	HTTP *http.Client
+	// Registry supplies the verification key per origin HOP.
+	Registry Registry
+}
+
+// Fetch retrieves all bundles with Seq >= since from the HOP server at
+// baseURL, verifies each signature against the registered key of
+// origin, and returns the decoded bundles. Any verification failure
+// aborts the fetch: unauthenticated receipts are never returned.
+func (c *Client) Fetch(ctx context.Context, baseURL string, origin receipt.HOPID, since uint64) ([]*Bundle, error) {
+	pub, ok := c.Registry[origin]
+	if !ok {
+		return nil, fmt.Errorf("dissem: no registered key for %v", origin)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := fmt.Sprintf("%s?since=%d", baseURL, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dissem: fetching %v: %w", origin, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dissem: %v returned %s", origin, resp.Status)
+	}
+	var signed []SignedBundle
+	if err := json.NewDecoder(resp.Body).Decode(&signed); err != nil {
+		return nil, fmt.Errorf("dissem: decoding response from %v: %w", origin, err)
+	}
+	out := make([]*Bundle, 0, len(signed))
+	for i, sb := range signed {
+		b, err := Verify(pub, origin, sb)
+		if err != nil {
+			return nil, fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Bus is an in-memory alternative to the HTTP transport for
+// simulations: publish and subscribe without sockets, with the same
+// sign/verify discipline.
+type Bus struct {
+	mu      sync.RWMutex
+	servers map[receipt.HOPID]*Server
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{servers: make(map[receipt.HOPID]*Server)}
+}
+
+// Attach registers a HOP's server on the bus.
+func (b *Bus) Attach(s *Server) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.servers[s.hop] = s
+}
+
+// Collect returns all verified bundles from the given HOP.
+func (b *Bus) Collect(reg Registry, origin receipt.HOPID) ([]*Bundle, error) {
+	b.mu.RLock()
+	s, ok := b.servers[origin]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dissem: HOP %v not on bus", origin)
+	}
+	pub, ok := reg[origin]
+	if !ok {
+		return nil, fmt.Errorf("dissem: no registered key for %v", origin)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Bundle, 0, len(s.bundles))
+	for i, sb := range s.bundles {
+		bundle, err := Verify(pub, origin, sb)
+		if err != nil {
+			return nil, fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
+		}
+		out = append(out, bundle)
+	}
+	return out, nil
+}

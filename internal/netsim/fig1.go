@@ -1,0 +1,109 @@
+package netsim
+
+import "vpm/internal/receipt"
+
+// This file builds the paper's running example (Figure 1): domain S
+// sends to domain D via transit domains L, X and N; HOPs are numbered
+// 1..8 along the path, with X's ingress and egress at HOPs 4 and 5.
+
+// Fig1 names the domains of the paper's example topology.
+var Fig1DomainNames = []string{"S", "L", "X", "N", "D"}
+
+// Default healthy-path parameters.
+const (
+	// DefaultLinkDelayNS is the inter-domain link propagation delay.
+	DefaultLinkDelayNS = 1_000_000 // 1 ms
+	// DefaultLinkJitterNS is the per-packet link jitter.
+	DefaultLinkJitterNS = 100_000 // 0.1 ms
+	// DefaultMaxDiffNS is the advertised timestamp bound per link; it
+	// comfortably covers delay + jitter + sane clock skews.
+	DefaultMaxDiffNS = 3_000_000 // 3 ms
+	// DefaultBaseDelayNS is the uncongested intra-domain transit time.
+	DefaultBaseDelayNS = 500_000 // 0.5 ms
+	// DefaultReorderJitterNS reorders packets that arrive within a
+	// fraction of a millisecond of each other, the paper's empirical
+	// reordering regime (§6.3, reference [10]).
+	DefaultReorderJitterNS = 200_000 // 0.2 ms
+)
+
+// Fig1Path builds the five-domain topology of Figure 1 with healthy
+// defaults: no loss anywhere, constant transit delays, mild jitter.
+// Experiments then perturb individual domains (e.g. congest X, add
+// loss within X) by mutating the returned path before Run.
+func Fig1Path(seed uint64) *Path {
+	p := &Path{Seed: seed}
+	for _, name := range Fig1DomainNames {
+		p.Domains = append(p.Domains, DomainSpec{
+			Name:            name,
+			BaseDelayNS:     DefaultBaseDelayNS,
+			ReorderJitterNS: DefaultReorderJitterNS,
+		})
+	}
+	for i := 0; i < len(p.Domains)-1; i++ {
+		p.Links = append(p.Links, LinkSpec{
+			DelayNS:   DefaultLinkDelayNS,
+			JitterNS:  DefaultLinkJitterNS,
+			MaxDiffNS: DefaultMaxDiffNS,
+		})
+	}
+	return p
+}
+
+// DomainIndex returns the index of the named domain, or -1.
+func (p *Path) DomainIndex(name string) int {
+	for i := range p.Domains {
+		if p.Domains[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// LinkBetween returns the index of the link between domain d and d+1
+// — equivalently, the link upstream of domain d+1.
+func (p *Path) LinkBetween(d int) *LinkSpec { return &p.Links[d] }
+
+// PathIDFor builds the PathID a HOP of domain d would stamp on its
+// receipts for traffic with the given origin-prefix key: the previous
+// and next HOPs of the reporting HOP along the path (0 when the path
+// ends there, as at HOP 1's upstream or HOP 8's downstream in Figure
+// 1) and the MaxDiff of the adjacent inter-domain link in the
+// reporting direction. ingress selects the domain's ingress HOP
+// (true) or egress HOP (false); for stub domains the two coincide.
+func (p *Path) PathIDFor(key receipt.PathID, d int, ingress bool) receipt.PathID {
+	in, eg := p.HOPsOf(d)
+	h := eg
+	if ingress {
+		h = in
+	}
+	id := key
+	id.PrevHOP = prevHOP(h)
+	id.NextHOP = nextHOP(h, p.NumHOPs())
+	// Receipts are compared across one inter-domain link; the MaxDiff
+	// a HOP advertises is the bound for the link it shares with the
+	// neighbor it reports about: the upstream link for an ingress HOP
+	// and the downstream link for an egress HOP.
+	switch {
+	case ingress && d > 0:
+		id.MaxDiffNS = p.Links[d-1].MaxDiffNS
+	case d < len(p.Links):
+		id.MaxDiffNS = p.Links[d].MaxDiffNS
+	case d > 0:
+		id.MaxDiffNS = p.Links[d-1].MaxDiffNS
+	}
+	return id
+}
+
+func prevHOP(h receipt.HOPID) receipt.HOPID {
+	if h <= 1 {
+		return 0
+	}
+	return h - 1
+}
+
+func nextHOP(h receipt.HOPID, n int) receipt.HOPID {
+	if int(h) >= n {
+		return 0
+	}
+	return h + 1
+}

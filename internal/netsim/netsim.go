@@ -1,0 +1,302 @@
+// Package netsim simulates the inter-domain forwarding substrate of
+// the paper's setup (§2): a linear HOP path like Figure 1's
+// S → L → X → N → D, where stub domains S and D contribute one HOP
+// each and every transit domain contributes an ingress and an egress
+// HOP. Packets traverse inter-domain links (propagation delay, jitter,
+// optional loss) and intra-domain crossings (base delay, optional
+// congestion via a delaymodel.Queue, optional loss, jitter-induced
+// reordering, per-HOP clock skew).
+//
+// The simulator computes every packet's observation time at every HOP,
+// then replays each HOP's observations in arrival order to the
+// attached Observer (the VPM collector, a baseline, or nothing for a
+// non-deploying domain). Ground truth — per-domain loss counts and
+// true per-packet delays — is recorded on the side for the
+// experiments' accuracy metrics.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"vpm/internal/lossmodel"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+)
+
+// DelaySource yields a per-packet delay for a congested crossing.
+// delaymodel.Queue implements it. Arrival times are non-decreasing in
+// packet send order but may regress slightly under upstream jitter;
+// implementations must tolerate that (delaymodel.Queue does).
+type DelaySource interface {
+	DelayOf(tNS int64, pktBytes int) int64
+}
+
+// FixedDelay is a DelaySource with a constant delay.
+type FixedDelay int64
+
+// DelayOf returns the fixed delay.
+func (d FixedDelay) DelayOf(int64, int) int64 { return int64(d) }
+
+// Observer receives one HOP's packet observations in arrival order.
+// The packet pointer is valid only for the duration of the call
+// (NoCopy semantics); digest is the packet's 64-bit ID under the
+// deployment seed.
+type Observer interface {
+	Observe(pkt *packet.Packet, digest uint64, tNS int64)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(pkt *packet.Packet, digest uint64, tNS int64)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(pkt *packet.Packet, digest uint64, tNS int64) { f(pkt, digest, tNS) }
+
+// DomainSpec describes one domain on the path.
+type DomainSpec struct {
+	// Name labels the domain ("S", "L", "X", ...).
+	Name string
+	// Loss is the intra-domain loss process (nil: lossless).
+	Loss lossmodel.Process
+	// Delay is the intra-domain congestion delay source (nil: only
+	// BaseDelayNS applies). Stub domains never use it.
+	Delay DelaySource
+	// BaseDelayNS is the constant intra-domain transit delay.
+	BaseDelayNS int64
+	// ReorderJitterNS adds uniform per-packet jitter in
+	// [0, ReorderJitterNS] to the crossing, which reorders packets
+	// that arrive closer together than the jitter.
+	ReorderJitterNS int64
+	// IngressSkewNS / EgressSkewNS offset the observation clocks of
+	// the domain's HOPs (imperfect NTP sync, §4).
+	IngressSkewNS, EgressSkewNS int64
+	// Preferential, if non-nil, is consulted for every packet
+	// crossing the domain; returning true exempts the packet from the
+	// domain's loss and congestion delay. This models the "strategic
+	// treatment" attack of §3.2 (only exploitable when the adversary
+	// can predict which packets are measured).
+	Preferential func(pkt *packet.Packet, digest uint64) bool
+}
+
+// LinkSpec describes one inter-domain link.
+type LinkSpec struct {
+	// DelayNS is the nominal propagation delay.
+	DelayNS int64
+	// JitterNS adds uniform per-packet jitter in [0, JitterNS].
+	JitterNS int64
+	// MaxDiffNS is the timestamp-difference bound the two adjacent
+	// HOPs advertise for this link (must cover delay + jitter + skew
+	// for honest receipts to stay consistent).
+	MaxDiffNS int64
+	// Loss makes the link itself faulty (nil: healthy).
+	Loss lossmodel.Process
+}
+
+// Path is a linear inter-domain path.
+type Path struct {
+	// Domains along the path; the first and last are stubs with a
+	// single HOP (egress and ingress respectively).
+	Domains []DomainSpec
+	// Links connect consecutive domains; len(Links) ==
+	// len(Domains)-1.
+	Links []LinkSpec
+	// Seed drives packet digests and all simulation randomness.
+	Seed uint64
+}
+
+// Validate checks structural invariants.
+func (p *Path) Validate() error {
+	if len(p.Domains) < 2 {
+		return fmt.Errorf("netsim: need at least 2 domains, have %d", len(p.Domains))
+	}
+	if len(p.Links) != len(p.Domains)-1 {
+		return fmt.Errorf("netsim: %d domains need %d links, have %d",
+			len(p.Domains), len(p.Domains)-1, len(p.Links))
+	}
+	return nil
+}
+
+// NumHOPs returns the number of HOPs on the path: one for each stub
+// end plus two per transit domain (paper Figure 1: 5 domains → 8
+// HOPs).
+func (p *Path) NumHOPs() int { return 2 + 2*(len(p.Domains)-2) }
+
+// HOPsOf returns the HOP IDs of domain d (1-based HOP numbering along
+// the path, matching the paper's figure). Stub domains return equal
+// ingress and egress.
+func (p *Path) HOPsOf(d int) (ingress, egress receipt.HOPID) {
+	switch {
+	case d == 0:
+		return 1, 1
+	case d == len(p.Domains)-1:
+		n := receipt.HOPID(p.NumHOPs())
+		return n, n
+	default:
+		in := receipt.HOPID(2 * d)
+		return in, in + 1
+	}
+}
+
+// DomainTruth is the ground truth recorded for one transit domain.
+type DomainTruth struct {
+	Name            string
+	Ingress, Egress receipt.HOPID
+	In, Out         uint64
+	DroppedInside   uint64
+	TrueDelaysNS    []float64 // egress minus ingress true time per delivered packet
+}
+
+// LossRate returns the domain's actual loss rate for this run.
+func (d DomainTruth) LossRate() float64 {
+	if d.In == 0 {
+		return 0
+	}
+	return float64(d.DroppedInside) / float64(d.In)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Sent      int
+	Delivered int
+	// Domains holds ground truth for every domain (stubs included;
+	// stubs never drop or delay).
+	Domains []DomainTruth
+	// LinkDrops counts packets lost on each inter-domain link.
+	LinkDrops []uint64
+}
+
+// DomainByName returns the truth record for the named domain.
+func (r *Result) DomainByName(name string) (*DomainTruth, bool) {
+	for i := range r.Domains {
+		if r.Domains[i].Name == name {
+			return &r.Domains[i], true
+		}
+	}
+	return nil, false
+}
+
+// hopObservation is one (packet, time) event at a HOP.
+type hopObservation struct {
+	pktIdx int32
+	timeNS int64
+}
+
+// Run drives pkts (in send order) across the path, delivering each
+// HOP's observations in arrival-time order to the corresponding
+// observer. observers maps HOP ID → Observer; HOPs without an entry
+// are non-deploying (partial deployment, §8). Run is deterministic
+// given the path seed.
+func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nHops := p.NumHOPs()
+	rng := stats.NewRNG(p.Seed ^ 0xabcdef)
+	jitterRngs := make([]*stats.RNG, len(p.Domains))
+	linkRngs := make([]*stats.RNG, len(p.Links))
+	for i := range jitterRngs {
+		jitterRngs[i] = rng.Split()
+	}
+	for i := range linkRngs {
+		linkRngs[i] = rng.Split()
+	}
+
+	res := &Result{
+		Sent:      len(pkts),
+		LinkDrops: make([]uint64, len(p.Links)),
+	}
+	for d := range p.Domains {
+		in, eg := p.HOPsOf(d)
+		res.Domains = append(res.Domains, DomainTruth{
+			Name:    p.Domains[d].Name,
+			Ingress: in,
+			Egress:  eg,
+		})
+	}
+
+	digests := make([]uint64, len(pkts))
+	for i := range pkts {
+		digests[i] = pkts[i].Digest(p.Seed)
+	}
+
+	obsPerHop := make([][]hopObservation, nHops+1) // 1-based HOP IDs
+
+	record := func(hop receipt.HOPID, pktIdx int, t int64) {
+		obsPerHop[hop] = append(obsPerHop[hop], hopObservation{pktIdx: int32(pktIdx), timeNS: t})
+	}
+
+	for i := range pkts {
+		pkt := &pkts[i]
+		t := pkt.SentAt
+
+		// Stub source domain: observed at its egress HOP.
+		srcIn, srcEg := p.HOPsOf(0)
+		_ = srcIn
+		record(srcEg, i, t+p.Domains[0].EgressSkewNS)
+		res.Domains[0].In++
+		res.Domains[0].Out++
+
+		alive := true
+		for d := 1; d < len(p.Domains) && alive; d++ {
+			// Inter-domain link d-1 → d.
+			link := &p.Links[d-1]
+			if link.Loss != nil && link.Loss.Drop() {
+				res.LinkDrops[d-1]++
+				alive = false
+				break
+			}
+			t += link.DelayNS
+			if link.JitterNS > 0 {
+				t += int64(linkRngs[d-1].Float64() * float64(link.JitterNS))
+			}
+
+			dom := &p.Domains[d]
+			truth := &res.Domains[d]
+			in, eg := p.HOPsOf(d)
+			arrived := t
+			record(in, i, arrived+dom.IngressSkewNS)
+			truth.In++
+
+			if d == len(p.Domains)-1 {
+				// Destination stub: delivered.
+				truth.Out++
+				res.Delivered++
+				break
+			}
+
+			// Intra-domain crossing.
+			preferred := dom.Preferential != nil && dom.Preferential(pkt, digests[i])
+			if !preferred && dom.Loss != nil && dom.Loss.Drop() {
+				truth.DroppedInside++
+				alive = false
+				break
+			}
+			t += dom.BaseDelayNS
+			if !preferred && dom.Delay != nil {
+				t += dom.Delay.DelayOf(arrived, pkt.WireLen())
+			}
+			if dom.ReorderJitterNS > 0 {
+				t += int64(jitterRngs[d].Float64() * float64(dom.ReorderJitterNS))
+			}
+			record(eg, i, t+dom.EgressSkewNS)
+			truth.Out++
+			truth.TrueDelaysNS = append(truth.TrueDelaysNS, float64(t-arrived))
+			_ = eg
+		}
+	}
+
+	// Replay each HOP's observations in arrival order.
+	for hop := 1; hop <= nHops; hop++ {
+		obs, ok := observers[receipt.HOPID(hop)]
+		if !ok || obs == nil {
+			continue
+		}
+		events := obsPerHop[hop]
+		sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
+		for _, e := range events {
+			obs.Observe(&pkts[e.pktIdx], digests[e.pktIdx], e.timeNS)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,254 @@
+// Package packet models the packets VPM HOPs observe: an IPv4 header
+// plus a TCP or UDP transport header, with wire-format serialization,
+// allocation-free parsing into preallocated structs (in the style of
+// gopacket's DecodingLayerParser), and the canonical digest region used
+// to compute packet IDs.
+//
+// The digest region deliberately excludes fields that legitimately
+// change as a packet crosses domains (TTL, header checksums, the ECN
+// bits of TOS), so that every HOP on a path computes the same PktID for
+// the same packet — the property all of VPM's receipt matching relies
+// on.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vpm/internal/hashing"
+)
+
+// Proto identifies the transport protocol of a packet.
+type Proto uint8
+
+// Transport protocol numbers (IANA).
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Header sizes in bytes. We model option-less headers.
+const (
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	UDPHeaderLen  = 8
+)
+
+// Packet is a decoded IPv4 packet with its transport header and the
+// simulation metadata VPM needs (origin timestamp, total size). The
+// zero value is not a valid packet; use the trace generator or fill the
+// fields explicitly.
+type Packet struct {
+	// IPv4 header fields.
+	TOS      uint8
+	TotalLen uint16 // entire packet length on the wire, incl. IPv4 header
+	IPID     uint16
+	TTL      uint8
+	Proto    Proto
+	Src, Dst [4]byte
+
+	// Transport header fields. Seq/Ack/TCPFlags/Window are meaningful
+	// only when Proto == ProtoTCP.
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	TCPFlags         uint8
+	Window           uint16
+
+	// SentAt is the packet's origin timestamp in simulated
+	// nanoseconds. It is metadata, not wire content.
+	SentAt int64
+}
+
+// HeaderLen returns the combined IPv4+transport header length.
+func (p *Packet) HeaderLen() int {
+	if p.Proto == ProtoTCP {
+		return IPv4HeaderLen + TCPHeaderLen
+	}
+	return IPv4HeaderLen + UDPHeaderLen
+}
+
+// PayloadLen returns the payload byte count implied by TotalLen.
+func (p *Packet) PayloadLen() int {
+	n := int(p.TotalLen) - p.HeaderLen()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// WireLen returns the total on-the-wire length in bytes.
+func (p *Packet) WireLen() int { return int(p.TotalLen) }
+
+// Errors returned by Parse.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+	ErrBadChecksum = errors.New("packet: bad IPv4 header checksum")
+	ErrBadProto    = errors.New("packet: unsupported transport protocol")
+)
+
+// Serialize appends the packet's wire representation (headers only —
+// payload bytes are synthetic zeros and are not materialized; the
+// returned slice has header length, while TotalLen still reports the
+// full size) to dst and returns the extended slice. IPv4 and transport
+// checksums are computed.
+func (p *Packet) Serialize(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, p.HeaderLen())...)
+	b := dst[off:]
+
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], p.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], p.IPID)
+	// flags+fragment offset: DF set, offset 0.
+	binary.BigEndian.PutUint16(b[6:8], 0x4000)
+	b[8] = p.TTL
+	b[9] = uint8(p.Proto)
+	// checksum at [10:12], zero for now
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	cs := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+
+	t := b[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(t[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(t[2:4], p.DstPort)
+	if p.Proto == ProtoTCP {
+		binary.BigEndian.PutUint32(t[4:8], p.Seq)
+		binary.BigEndian.PutUint32(t[8:12], p.Ack)
+		t[12] = 5 << 4 // data offset 5 words
+		t[13] = p.TCPFlags
+		binary.BigEndian.PutUint16(t[14:16], p.Window)
+		// TCP checksum left zero: payload is synthetic.
+	} else {
+		binary.BigEndian.PutUint16(t[4:6], uint16(UDPHeaderLen+p.PayloadLen()))
+		// UDP checksum optional; left zero.
+	}
+	return dst
+}
+
+// Parse decodes the wire bytes in data into p, overwriting all fields
+// except SentAt. It validates the IPv4 version, header checksum and
+// transport protocol. data may contain extra bytes past the headers.
+func (p *Packet) Parse(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return ErrTruncated
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	p.TOS = data[1]
+	p.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	p.IPID = binary.BigEndian.Uint16(data[4:6])
+	p.TTL = data[8]
+	p.Proto = Proto(data[9])
+	copy(p.Src[:], data[12:16])
+	copy(p.Dst[:], data[16:20])
+
+	t := data[ihl:]
+	switch p.Proto {
+	case ProtoTCP:
+		if len(t) < TCPHeaderLen {
+			return ErrTruncated
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:2])
+		p.DstPort = binary.BigEndian.Uint16(t[2:4])
+		p.Seq = binary.BigEndian.Uint32(t[4:8])
+		p.Ack = binary.BigEndian.Uint32(t[8:12])
+		p.TCPFlags = t[13]
+		p.Window = binary.BigEndian.Uint16(t[14:16])
+	case ProtoUDP:
+		if len(t) < UDPHeaderLen {
+			return ErrTruncated
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:2])
+		p.DstPort = binary.BigEndian.Uint16(t[2:4])
+		p.Seq, p.Ack, p.TCPFlags, p.Window = 0, 0, 0, 0
+	default:
+		return ErrBadProto
+	}
+	return nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b. A buffer
+// whose embedded checksum field is correct sums to zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// digestRegionLen is the size of the canonical digest region.
+const digestRegionLen = 28
+
+// AppendDigestBytes appends the packet's canonical digest region to dst
+// and returns the extended slice: the immutable IPv4 fields (TOS with
+// ECN masked, TotalLen, IPID, Proto, Src, Dst) followed by the
+// transport fields (ports, and for TCP the sequence number and flags).
+// TTL and checksums are excluded so the region is invariant across
+// HOPs. This is the "small, fixed portion of each observed packet" the
+// paper's hash functions consume.
+func (p *Packet) AppendDigestBytes(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, digestRegionLen)...)
+	b := dst[off:]
+	b[0] = p.TOS &^ 0x03 // mask ECN bits, mutable in flight
+	b[1] = uint8(p.Proto)
+	binary.BigEndian.PutUint16(b[2:4], p.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], p.IPID)
+	copy(b[6:10], p.Src[:])
+	copy(b[10:14], p.Dst[:])
+	binary.BigEndian.PutUint16(b[14:16], p.SrcPort)
+	binary.BigEndian.PutUint16(b[16:18], p.DstPort)
+	binary.BigEndian.PutUint32(b[18:22], p.Seq)
+	binary.BigEndian.PutUint32(b[22:26], p.Ack)
+	b[26] = p.TCPFlags
+	b[27] = 0
+	return dst
+}
+
+// Digest returns the packet's 64-bit ID under the given deployment
+// seed: the Bob hash of the canonical digest region.
+func (p *Packet) Digest(seed uint64) uint64 {
+	var buf [digestRegionLen]byte
+	return hashing.Digest(p.AppendDigestBytes(buf[:0]), seed)
+}
+
+// String renders a compact one-line description for logs.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %d.%d.%d.%d:%d->%d.%d.%d.%d:%d len=%d id=%d",
+		p.Proto,
+		p.Src[0], p.Src[1], p.Src[2], p.Src[3], p.SrcPort,
+		p.Dst[0], p.Dst[1], p.Dst[2], p.Dst[3], p.DstPort,
+		p.TotalLen, p.IPID)
+}

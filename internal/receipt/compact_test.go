@@ -1,0 +1,141 @@
+package receipt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactSampleRoundTrip(t *testing.T) {
+	r := SampleReceipt{
+		Path: testPath(),
+		Samples: []SampleRecord{
+			{PktID: 0xAABBCCDD, TimeNS: 5_000_000_000},
+			{PktID: 0x11223344, TimeNS: 5_001_234_000},
+		},
+	}
+	b := r.AppendCompact(nil)
+	if len(b) != r.CompactWireSize() {
+		t.Fatalf("encoded %d, CompactWireSize %d", len(b), r.CompactWireSize())
+	}
+	s, a, rest, err := DecodeCompact(b)
+	if err != nil || a != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v %v %v", s, a, err)
+	}
+	if s.Path != r.Path || len(s.Samples) != 2 {
+		t.Fatalf("round trip: %+v", s)
+	}
+	// 32-bit IDs survive exactly when they fit.
+	if s.Samples[0].PktID != 0xAABBCCDD {
+		t.Errorf("pktID = %#x", s.Samples[0].PktID)
+	}
+	// Times survive at microsecond precision.
+	if d := s.Samples[1].TimeNS - s.Samples[0].TimeNS; d != 1_234_000 {
+		t.Errorf("time delta = %d, want 1234000", d)
+	}
+}
+
+func TestCompactTruncation(t *testing.T) {
+	r := SampleReceipt{
+		Path:    testPath(),
+		Samples: []SampleRecord{{PktID: 0xFFFF_0000_AABB_CCDD, TimeNS: 1000}},
+	}
+	b := r.AppendCompact(nil)
+	s, _, _, err := DecodeCompact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Samples[0].PktID != 0xAABBCCDD {
+		t.Errorf("expected low-32 truncation, got %#x", s.Samples[0].PktID)
+	}
+}
+
+func TestCompactAggRoundTrip(t *testing.T) {
+	r := AggReceipt{
+		Path:   testPath(),
+		Agg:    AggID{First: 0x1111, Last: 0x2222},
+		PktCnt: 98765,
+		AggTrans: []SampleRecord{
+			{PktID: 7, TimeNS: 9_000_000_000},
+			{PktID: 8, TimeNS: 9_000_500_000},
+		},
+	}
+	b := r.AppendCompact(nil)
+	if len(b) != r.CompactWireSize() {
+		t.Fatalf("encoded %d, CompactWireSize %d", len(b), r.CompactWireSize())
+	}
+	_, a, rest, err := DecodeCompact(b)
+	if err != nil || a == nil || len(rest) != 0 {
+		t.Fatalf("decode failed: %v", err)
+	}
+	if a.Agg != r.Agg || a.PktCnt != r.PktCnt || len(a.AggTrans) != 2 {
+		t.Fatalf("round trip: %+v", a)
+	}
+	if d := a.AggTrans[1].TimeNS - a.AggTrans[0].TimeNS; d != 500_000 {
+		t.Errorf("trans delta %d", d)
+	}
+}
+
+func TestCompactSmallerThanFull(t *testing.T) {
+	r := SampleReceipt{Path: testPath(), Samples: make([]SampleRecord, 100)}
+	if r.CompactWireSize() >= r.WireSize() {
+		t.Fatalf("compact %d should beat full %d", r.CompactWireSize(), r.WireSize())
+	}
+	// Asymptotically 7 vs 16 bytes per record.
+	big := SampleReceipt{Path: testPath(), Samples: make([]SampleRecord, 10000)}
+	ratio := float64(big.CompactWireSize()) / float64(big.WireSize())
+	if ratio > 0.5 {
+		t.Errorf("compact ratio %.2f, want < 0.5 at scale", ratio)
+	}
+}
+
+func TestCompactTimeClamping(t *testing.T) {
+	// Deltas beyond 24 bits clamp rather than wrap.
+	r := SampleReceipt{
+		Path: testPath(),
+		Samples: []SampleRecord{
+			{PktID: 1, TimeNS: 0},
+			{PktID: 2, TimeNS: 100_000_000_000}, // 100 s later
+		},
+	}
+	s, _, _, err := DecodeCompact(r.AppendCompact(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Samples[1].TimeNS; got != 0xFFFFFF*1000 {
+		t.Errorf("clamped time = %d, want max delta", got)
+	}
+}
+
+func TestCompactDecodeCorrupt(t *testing.T) {
+	r := AggReceipt{Path: testPath(), Agg: AggID{First: 1, Last: 2}, PktCnt: 3}
+	b := r.AppendCompact(nil)
+	for _, n := range []int{0, 1, 20, len(b) - 1} {
+		if _, _, _, err := DecodeCompact(b[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+	bad := append([]byte{}, b...)
+	bad[0] = 9
+	if _, _, _, err := DecodeCompact(bad); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestCompactDecodeFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeCompact(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompactEncode(b *testing.B) {
+	r := SampleReceipt{Path: testPath(), Samples: make([]SampleRecord, 100)}
+	buf := make([]byte, 0, r.CompactWireSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendCompact(buf[:0])
+	}
+}

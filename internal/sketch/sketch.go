@@ -1,0 +1,185 @@
+// Package sketch implements the traffic-modification detection
+// extension the paper sketches in §3.5: "bad ISP behavior may consist
+// not only of introducing loss and unpredictable delay, but also of
+// modifying traffic; the only way to detect such behavior is to use a
+// content-processing technique like [Secure Sketch], which could be
+// easily incorporated in our aggregation component."
+//
+// The structure is an invertible Bloom lookup table (IBLT) over packet
+// digests: constant state per aggregate regardless of aggregate size,
+// mergeable, and — the key property — *subtractable*. Each HOP folds
+// every observed packet's digest into the sketch for the current
+// aggregate; a verifier subtracts the downstream sketch from the
+// upstream one and peels the difference to recover exactly which
+// packet digests disappeared (loss) and which appeared from nowhere
+// (injection). A modified packet shows up as one of each — a
+// fingerprint plain packet counts cannot produce, since counts only
+// see the net difference.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+
+	"vpm/internal/hashing"
+)
+
+// cell is one IBLT bucket.
+type cell struct {
+	count    int64
+	idXor    uint64
+	checkXor uint64
+}
+
+func (c cell) empty() bool { return c.count == 0 && c.idXor == 0 && c.checkXor == 0 }
+
+// pure reports whether the cell holds exactly one surviving id from
+// one side of the difference, and which side (+1 upstream-only = lost,
+// -1 downstream-only = injected).
+func (c cell) pure() (id uint64, lost bool, ok bool) {
+	if (c.count == 1 || c.count == -1) && c.checkXor == checksumOf(c.idXor) {
+		return c.idXor, c.count == 1, true
+	}
+	return 0, false, false
+}
+
+// checksumOf guards peeling against false positives.
+func checksumOf(id uint64) uint64 { return hashing.Mix64(id ^ 0x9e3779b97f4a7c15) }
+
+// NumHashes is the number of cells each id folds into. Three is the
+// standard IBLT choice: decodable up to a load factor around 0.8.
+const NumHashes = 3
+
+// Sketch is a fixed-size content summary of a packet set. The zero
+// value is not usable; call New. Two sketches are comparable only when
+// built with identical size and seed (deployment constants, like the
+// digest seed).
+type Sketch struct {
+	cells []cell
+	seed  uint64
+	n     int64 // items folded in (net, after Subtract)
+}
+
+// New builds a sketch with the given cell count. Size it at ~1.5 cells
+// per expected *difference* (lost + injected packets per aggregate),
+// not per packet — the whole point is that state is independent of
+// aggregate size.
+func New(cells int, seed uint64) (*Sketch, error) {
+	if cells < NumHashes {
+		return nil, fmt.Errorf("sketch: need at least %d cells, got %d", NumHashes, cells)
+	}
+	return &Sketch{cells: make([]cell, cells), seed: seed}, nil
+}
+
+// indices returns the id's cell positions.
+func (s *Sketch) indices(id uint64) [NumHashes]int {
+	var out [NumHashes]int
+	h := hashing.Mix64(id ^ s.seed)
+	for i := 0; i < NumHashes; i++ {
+		out[i] = int(h % uint64(len(s.cells)))
+		h = hashing.Mix64(h + uint64(i) + 1)
+	}
+	return out
+}
+
+func (s *Sketch) apply(id uint64, dir int64) {
+	chk := checksumOf(id)
+	for _, i := range s.indices(id) {
+		s.cells[i].count += dir
+		s.cells[i].idXor ^= id
+		s.cells[i].checkXor ^= chk
+	}
+	s.n += dir
+}
+
+// Add folds one packet digest into the sketch.
+func (s *Sketch) Add(id uint64) { s.apply(id, 1) }
+
+// Len returns the net number of items folded in.
+func (s *Sketch) Len() int64 { return s.n }
+
+// Cells returns the sketch's size in cells.
+func (s *Sketch) Cells() int { return len(s.cells) }
+
+// ErrIncompatible reports sketches of different shapes or seeds.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// Subtract returns a new sketch holding the difference s - other:
+// packets in s but not other carry +1 counts, packets in other but not
+// s carry -1. Shared packets cancel exactly.
+func (s *Sketch) Subtract(other *Sketch) (*Sketch, error) {
+	if len(s.cells) != len(other.cells) || s.seed != other.seed {
+		return nil, ErrIncompatible
+	}
+	out := &Sketch{cells: make([]cell, len(s.cells)), seed: s.seed, n: s.n - other.n}
+	for i := range s.cells {
+		out.cells[i] = cell{
+			count:    s.cells[i].count - other.cells[i].count,
+			idXor:    s.cells[i].idXor ^ other.cells[i].idXor,
+			checkXor: s.cells[i].checkXor ^ other.cells[i].checkXor,
+		}
+	}
+	return out, nil
+}
+
+// Decode peels a difference sketch, recovering the ids only present
+// upstream (lost) and only present downstream (injected). ok is false
+// when the difference exceeds the sketch's capacity and peeling
+// stalls; the recovered prefixes are still returned.
+func (s *Sketch) Decode() (lost, injected []uint64, ok bool) {
+	work := &Sketch{cells: append([]cell{}, s.cells...), seed: s.seed}
+	for {
+		progress := false
+		for i := range work.cells {
+			id, isLost, pure := work.cells[i].pure()
+			if !pure {
+				continue
+			}
+			if isLost {
+				lost = append(lost, id)
+				work.apply(id, -1)
+			} else {
+				injected = append(injected, id)
+				work.apply(id, 1)
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := range work.cells {
+		if !work.cells[i].empty() {
+			return lost, injected, false
+		}
+	}
+	return lost, injected, true
+}
+
+// Verdict summarizes a sketch comparison between two HOPs for one
+// aggregate.
+type Verdict struct {
+	// Lost are digests the upstream HOP saw and the downstream HOP
+	// did not: ordinary loss.
+	Lost []uint64
+	// Injected are digests the downstream HOP saw that the upstream
+	// never sent. Any injected packet means the traffic was modified
+	// or forged in between — the behaviour §3.5 wants detectable.
+	Injected []uint64
+	// Decoded is false when the difference overflowed the sketch.
+	Decoded bool
+}
+
+// Modified reports whether the comparison proves traffic modification
+// (something arrived that was never sent).
+func (v Verdict) Modified() bool { return len(v.Injected) > 0 }
+
+// Compare subtracts and decodes in one step.
+func Compare(up, down *Sketch) (Verdict, error) {
+	diff, err := up.Subtract(down)
+	if err != nil {
+		return Verdict{}, err
+	}
+	lost, injected, ok := diff.Decode()
+	return Verdict{Lost: lost, Injected: injected, Decoded: ok}, nil
+}

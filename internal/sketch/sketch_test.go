@@ -1,0 +1,208 @@
+package sketch
+
+import (
+	"testing"
+
+	"vpm/internal/stats"
+)
+
+func mustNew(t testing.TB, cells int) *Sketch {
+	t.Helper()
+	s, err := New(cells, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 1); err == nil {
+		t.Error("undersized sketch accepted")
+	}
+	if _, err := New(NumHashes, 1); err != nil {
+		t.Errorf("minimum size rejected: %v", err)
+	}
+}
+
+func TestIdenticalSetsCancel(t *testing.T) {
+	up, down := mustNew(t, 64), mustNew(t, 64)
+	r := stats.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		id := r.Uint64()
+		up.Add(id)
+		down.Add(id)
+	}
+	v, err := Compare(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Decoded || len(v.Lost) != 0 || len(v.Injected) != 0 || v.Modified() {
+		t.Fatalf("identical sets should cancel: %+v", v)
+	}
+}
+
+func TestLossOnlyDecoding(t *testing.T) {
+	up, down := mustNew(t, 64), mustNew(t, 64)
+	r := stats.NewRNG(2)
+	want := map[uint64]bool{}
+	for i := 0; i < 50000; i++ {
+		id := r.Uint64()
+		up.Add(id)
+		if i%2500 == 7 { // drop 20 specific packets
+			want[id] = true
+			continue
+		}
+		down.Add(id)
+	}
+	v, err := Compare(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Decoded {
+		t.Fatal("decode failed within capacity")
+	}
+	if v.Modified() {
+		t.Fatalf("pure loss misreported as modification: %+v", v.Injected)
+	}
+	if len(v.Lost) != len(want) {
+		t.Fatalf("recovered %d losses, want %d", len(v.Lost), len(want))
+	}
+	for _, id := range v.Lost {
+		if !want[id] {
+			t.Fatalf("recovered wrong id %#x", id)
+		}
+	}
+}
+
+func TestModificationDetected(t *testing.T) {
+	// A domain rewrites some packets in flight: upstream saw the
+	// original digests, downstream the modified ones. The sketch
+	// reports both directions — injection proves modification.
+	up, down := mustNew(t, 64), mustNew(t, 64)
+	r := stats.NewRNG(3)
+	modified := 0
+	for i := 0; i < 50000; i++ {
+		id := r.Uint64()
+		up.Add(id)
+		if i%5000 == 3 {
+			down.Add(id ^ 0xFFFF) // content changed => digest changed
+			modified++
+			continue
+		}
+		down.Add(id)
+	}
+	v, err := Compare(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Decoded {
+		t.Fatal("decode failed")
+	}
+	if !v.Modified() {
+		t.Fatal("modification went undetected")
+	}
+	if len(v.Injected) != modified || len(v.Lost) != modified {
+		t.Fatalf("lost %d injected %d, want %d each", len(v.Lost), len(v.Injected), modified)
+	}
+}
+
+func TestCapacityOverflow(t *testing.T) {
+	// Differences far beyond capacity must be reported as undecodable,
+	// not silently wrong.
+	up, down := mustNew(t, 16), mustNew(t, 16)
+	r := stats.NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		up.Add(r.Uint64()) // all lost
+	}
+	v, err := Compare(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Decoded {
+		t.Fatal("1000 differences decoded from 16 cells — impossible")
+	}
+}
+
+func TestCapacityBoundary(t *testing.T) {
+	// ~0.6 load factor decodes reliably.
+	const cells = 128
+	const diffs = 70
+	up, down := mustNew(t, cells), mustNew(t, cells)
+	r := stats.NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		id := r.Uint64()
+		up.Add(id)
+		if i >= 10000-diffs {
+			continue
+		}
+		down.Add(id)
+	}
+	v, err := Compare(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Decoded || len(v.Lost) != diffs {
+		t.Fatalf("boundary decode failed: decoded=%v lost=%d", v.Decoded, len(v.Lost))
+	}
+}
+
+func TestIncompatibleSketches(t *testing.T) {
+	a := mustNew(t, 64)
+	b, _ := New(32, 42)
+	if _, err := a.Subtract(b); err != ErrIncompatible {
+		t.Errorf("size mismatch: err = %v", err)
+	}
+	c, _ := New(64, 43)
+	if _, err := a.Subtract(c); err != ErrIncompatible {
+		t.Errorf("seed mismatch: err = %v", err)
+	}
+}
+
+func TestLenAndCells(t *testing.T) {
+	s := mustNew(t, 64)
+	s.Add(1)
+	s.Add(2)
+	if s.Len() != 2 || s.Cells() != 64 {
+		t.Errorf("Len=%d Cells=%d", s.Len(), s.Cells())
+	}
+}
+
+func TestConstantStateIndependentOfAggregateSize(t *testing.T) {
+	// The §3.5 selling point: sketch size does not grow with traffic.
+	s := mustNew(t, 64)
+	r := stats.NewRNG(6)
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(r.Uint64())
+	}
+	if s.Cells() != 64 {
+		t.Fatal("sketch grew")
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	s, _ := New(128, 1)
+	r := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(r.Uint64())
+	}
+}
+
+func BenchmarkSketchCompare(b *testing.B) {
+	up, _ := New(128, 1)
+	down, _ := New(128, 1)
+	r := stats.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		id := r.Uint64()
+		up.Add(id)
+		if i%5000 != 0 {
+			down.Add(id)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(up, down); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the R and
+// NumPy default). It copies and sorts xs; use QuantileSorted when the
+// input is already sorted. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	return QuantileSorted(c, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the values of xs at each of the given quantiles.
+// xs is copied and sorted once.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QuantileSorted(c, q)
+	}
+	return out
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, Max           float64
+	P50, P90, P99      float64
+	P999               float64 // 99.9th percentile
+	Sum                float64
+	SampleQuantileBase []float64 // sorted copy, retained for further quantile queries
+}
+
+// Summarize computes a Summary of xs. For an empty input it returns the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	s := Summary{
+		N:                  len(c),
+		Min:                c[0],
+		Max:                c[len(c)-1],
+		P50:                QuantileSorted(c, 0.50),
+		P90:                QuantileSorted(c, 0.90),
+		P99:                QuantileSorted(c, 0.99),
+		P999:               QuantileSorted(c, 0.999),
+		SampleQuantileBase: c,
+	}
+	for _, x := range c {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	s.StdDev = StdDev(c)
+	return s
+}
+
+// String renders the summary on one line, suitable for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram is a fixed-width-bucket histogram over [Lo, Hi). Values
+// outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Count   int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+}
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Quantile returns an approximate q-quantile from the histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return h.Lo
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Buckets {
+		cum += float64(c)
+		if cum >= target {
+			return h.BucketMid(i)
+		}
+	}
+	return h.Hi
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"vpm/internal/packet"
+)
+
+// Binary trace file format: an 8-byte magic, a record count, then
+// fixed-width little-endian records. The format exists so generated
+// workloads can be saved once and replayed by benchmarks and the
+// cmd/vpm-trace tool without regeneration.
+
+// Magic identifies trace files (version embedded in the last byte).
+var Magic = [8]byte{'V', 'P', 'M', 'T', 'R', 'C', '0', '1'}
+
+// recordLen is the fixed encoded size of one packet record.
+const recordLen = 40
+
+// ErrBadMagic is returned when a file does not start with Magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a VPM trace file)")
+
+// Write serializes pkts to w in the trace file format.
+func Write(w io.Writer, pkts []packet.Packet) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(pkts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordLen]byte
+	for i := range pkts {
+		encodeRecord(&rec, &pkts[i])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeRecord(rec *[recordLen]byte, p *packet.Packet) {
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(p.SentAt))
+	rec[8] = p.TOS
+	rec[9] = p.TTL
+	rec[10] = uint8(p.Proto)
+	rec[11] = p.TCPFlags
+	binary.LittleEndian.PutUint16(rec[12:14], p.TotalLen)
+	binary.LittleEndian.PutUint16(rec[14:16], p.IPID)
+	copy(rec[16:20], p.Src[:])
+	copy(rec[20:24], p.Dst[:])
+	binary.LittleEndian.PutUint16(rec[24:26], p.SrcPort)
+	binary.LittleEndian.PutUint16(rec[26:28], p.DstPort)
+	binary.LittleEndian.PutUint32(rec[28:32], p.Seq)
+	binary.LittleEndian.PutUint32(rec[32:36], p.Ack)
+	binary.LittleEndian.PutUint16(rec[36:38], p.Window)
+	// rec[38:40] reserved.
+	rec[38], rec[39] = 0, 0
+}
+
+func decodeRecord(rec *[recordLen]byte, p *packet.Packet) {
+	p.SentAt = int64(binary.LittleEndian.Uint64(rec[0:8]))
+	p.TOS = rec[8]
+	p.TTL = rec[9]
+	p.Proto = packet.Proto(rec[10])
+	p.TCPFlags = rec[11]
+	p.TotalLen = binary.LittleEndian.Uint16(rec[12:14])
+	p.IPID = binary.LittleEndian.Uint16(rec[14:16])
+	copy(p.Src[:], rec[16:20])
+	copy(p.Dst[:], rec[20:24])
+	p.SrcPort = binary.LittleEndian.Uint16(rec[24:26])
+	p.DstPort = binary.LittleEndian.Uint16(rec[26:28])
+	p.Seq = binary.LittleEndian.Uint32(rec[28:32])
+	p.Ack = binary.LittleEndian.Uint32(rec[32:36])
+	p.Window = binary.LittleEndian.Uint16(rec[36:38])
+}
+
+// Read parses a trace file written by Write.
+func Read(r io.Reader) ([]packet.Packet, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	const maxRecords = 1 << 28 // refuse absurd files rather than OOM
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d exceeds limit", n)
+	}
+	out := make([]packet.Packet, n)
+	var rec [recordLen]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		decodeRecord(&rec, &out[i])
+	}
+	return out, nil
+}

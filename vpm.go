@@ -1,0 +1,261 @@
+// Package vpm is a library implementation of "Verifiable
+// Network-Performance Measurements" (Argyraki, Maniatis, Singla —
+// CoNEXT 2010): a voluntary self-reporting protocol by which network
+// domains produce traffic receipts that let their customers and peers
+// compute — and, crucially, verify — each domain's loss and delay
+// performance, at an independently tunable resource cost.
+//
+// The package re-exports the library's public surface from the
+// internal implementation packages:
+//
+//   - packet model and origin-prefix classification (internal/packet)
+//   - bias-resistant delay sampling, Algorithm 1 (internal/sampling)
+//   - tunable aggregation with reorder patch-up, Algorithm 2
+//     (internal/aggregation)
+//   - traffic receipts, combination and consistency (internal/receipt)
+//   - the Collector/Processor/Verifier protocol stack (internal/core)
+//   - the simulation substrate: domains, HOPs, links, loss and
+//     congestion models, synthetic traces (internal/netsim and
+//     friends)
+//   - signed receipt dissemination over HTTP (internal/dissem)
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	pkts, _ := vpm.GenerateTrace(vpm.TraceConfig{
+//		Seed: 1, DurationNS: 1e9,
+//		Paths: []vpm.TracePathSpec{vpm.DefaultTracePath(100000)},
+//	})
+//	path := vpm.Fig1Path(7)                  // S -> L -> X -> N -> D
+//	dep, _ := vpm.NewDeployment(path, table, vpm.DefaultDeployConfig())
+//	path.Run(pkts, dep.Observers())
+//	dep.Finalize()
+//	v := dep.NewVerifier(key)
+//	report, _ := v.DomainReport("X", vpm.DefaultQuantiles, 0.95)
+package vpm
+
+import (
+	"vpm/internal/aggregation"
+	"vpm/internal/core"
+	"vpm/internal/delaymodel"
+	"vpm/internal/dissem"
+	"vpm/internal/lossmodel"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/sampling"
+	"vpm/internal/stats"
+	"vpm/internal/trace"
+)
+
+// Packet model.
+type (
+	// Packet is an IPv4 packet with transport header and simulation
+	// metadata.
+	Packet = packet.Packet
+	// Prefix is an IPv4 origin prefix.
+	Prefix = packet.Prefix
+	// PathKey names a HOP path by its origin-prefix pair.
+	PathKey = packet.PathKey
+	// PrefixTable performs longest-prefix matching.
+	PrefixTable = packet.Table
+)
+
+// MakePrefix builds an origin prefix from octets and a length.
+func MakePrefix(a, b, c, d byte, bits int) Prefix { return packet.MakePrefix(a, b, c, d, bits) }
+
+// NewPrefixTable builds a longest-prefix-match table.
+func NewPrefixTable(prefixes []Prefix) *PrefixTable { return packet.NewTable(prefixes) }
+
+// Receipts.
+type (
+	// HOPID identifies a hand-off point.
+	HOPID = receipt.HOPID
+	// PathID names the HOP path a receipt belongs to.
+	PathID = receipt.PathID
+	// SampleRecord is one delay-sampled 〈PktID, Time〉 measurement.
+	SampleRecord = receipt.SampleRecord
+	// SampleReceipt is a receipt for a set of sampled packets.
+	SampleReceipt = receipt.SampleReceipt
+	// AggReceipt is a receipt for a packet aggregate.
+	AggReceipt = receipt.AggReceipt
+	// Inconsistency is one receipt-consistency violation.
+	Inconsistency = receipt.Inconsistency
+)
+
+// CombineSamples is the receipt combination operator ⊎ for sample
+// receipts.
+func CombineSamples(rs ...SampleReceipt) (SampleReceipt, error) {
+	return receipt.CombineSamples(rs...)
+}
+
+// CombineAggregates is the ⊎ operator for consecutive aggregate
+// receipts.
+func CombineAggregates(rs ...AggReceipt) (AggReceipt, error) {
+	return receipt.CombineAggregates(rs...)
+}
+
+// Protocol stack.
+type (
+	// Collector is the per-HOP data-plane module.
+	Collector = core.Collector
+	// CollectorConfig configures a collector.
+	CollectorConfig = core.CollectorConfig
+	// Processor is the per-HOP control-plane module.
+	Processor = core.Processor
+	// Deployment wires collectors onto a simulated path.
+	Deployment = core.Deployment
+	// DeployConfig configures a deployment.
+	DeployConfig = core.DeployConfig
+	// Tuning is one domain's sampling/aggregation rates.
+	Tuning = core.Tuning
+	// Verifier estimates and verifies per-domain performance from
+	// receipts.
+	Verifier = core.Verifier
+	// DomainReport is a verifier's estimate for one domain.
+	DomainReport = core.DomainReport
+	// LinkVerdict is the consistency verdict for one inter-domain
+	// link.
+	LinkVerdict = core.LinkVerdict
+	// LossReport is the aggregate-based loss computation.
+	LossReport = core.LossReport
+	// SamplingConfig parameterizes Algorithm 1.
+	SamplingConfig = sampling.Config
+	// AggregationConfig parameterizes Algorithm 2.
+	AggregationConfig = aggregation.Config
+	// Layout describes a path's HOPs and segments for a verifier.
+	Layout = core.Layout
+	// VerifierConfig carries deployment constants for a hand-built
+	// verifier.
+	VerifierConfig = core.VerifierConfig
+)
+
+// NewVerifier builds a verifier over a path layout for hand-fed
+// receipts; Deployment.NewVerifier is the usual entry point.
+func NewVerifier(layout Layout) *Verifier { return core.NewVerifier(layout) }
+
+// FabricateDelivery is the blame-shift lie (threat-model tooling): a
+// domain claims it delivered traffic it dropped. See
+// examples/liar-detection.
+func FabricateDelivery(ingressSamples SampleReceipt, ingressAggs []AggReceipt,
+	egressPath PathID, claimedDelayNS int64) (SampleReceipt, []AggReceipt) {
+	return core.FabricateDelivery(ingressSamples, ingressAggs, egressPath, claimedDelayNS)
+}
+
+// CoverUpReceipt is the collusion lie: a neighbor echoes a liar's
+// fabricated claims, absorbing the blame.
+func CoverUpReceipt(liarEgress SampleReceipt, ownPath PathID, linkDelayNS int64) SampleReceipt {
+	return core.CoverUpReceipt(liarEgress, ownPath, linkDelayNS)
+}
+
+// CoverUpAggs forges matching aggregate receipts for a cover-up.
+func CoverUpAggs(liarEgress []AggReceipt, ownPath PathID, linkDelayNS int64) []AggReceipt {
+	return core.CoverUpAggs(liarEgress, ownPath, linkDelayNS)
+}
+
+// ShaveDelays is the delay-exaggeration lie: egress timestamps
+// compressed toward ingress ones.
+func ShaveDelays(ingress, egress SampleReceipt, factor float64) SampleReceipt {
+	return core.ShaveDelays(ingress, egress, factor)
+}
+
+// NewCollector builds a standalone collector.
+func NewCollector(cfg CollectorConfig) (*Collector, error) { return core.NewCollector(cfg) }
+
+// NewProcessor attaches a control-plane processor to a collector.
+func NewProcessor(c *Collector) *Processor { return core.NewProcessor(c) }
+
+// NewDeployment wires collectors onto every HOP of a path.
+func NewDeployment(p *Path, table *PrefixTable, cfg DeployConfig) (*Deployment, error) {
+	return core.NewDeployment(p, table, cfg)
+}
+
+// DefaultDeployConfig returns the baseline protocol parameters.
+func DefaultDeployConfig() DeployConfig { return core.DefaultDeployConfig() }
+
+// Simulation substrate.
+type (
+	// Path is a linear inter-domain path.
+	Path = netsim.Path
+	// DomainSpec describes one domain on a path.
+	DomainSpec = netsim.DomainSpec
+	// LinkSpec describes one inter-domain link.
+	LinkSpec = netsim.LinkSpec
+	// Observer receives one HOP's packet observations.
+	Observer = netsim.Observer
+	// SimResult is a simulation run's ground truth.
+	SimResult = netsim.Result
+	// DomainTruth is one domain's ground truth.
+	DomainTruth = netsim.DomainTruth
+	// CongestionConfig describes a bottleneck congestion scenario.
+	CongestionConfig = delaymodel.Config
+	// CongestionQueue is the bottleneck delay source.
+	CongestionQueue = delaymodel.Queue
+	// GilbertElliott is the two-state bursty loss model.
+	GilbertElliott = lossmodel.GilbertElliott
+)
+
+// Fig1Path builds the paper's five-domain example topology
+// (S -> L -> X -> N -> D, HOPs 1..8).
+func Fig1Path(seed uint64) *Path { return netsim.Fig1Path(seed) }
+
+// BurstyUDPScenario is the Figure 2 congestion scenario.
+func BurstyUDPScenario(seed uint64) CongestionConfig { return delaymodel.BurstyUDPScenario(seed) }
+
+// NewCongestionQueue builds a bottleneck delay source.
+func NewCongestionQueue(cfg CongestionConfig) (*CongestionQueue, error) { return delaymodel.New(cfg) }
+
+// GilbertElliottLoss builds a bursty loss process with the given
+// stationary loss rate and mean burst length.
+func GilbertElliottLoss(target, meanBurst float64, seed uint64) (*GilbertElliott, error) {
+	return lossmodel.FromTargetLoss(target, meanBurst, stats.NewRNG(seed))
+}
+
+// Workloads.
+type (
+	// TraceConfig configures a synthetic trace.
+	TraceConfig = trace.Config
+	// TracePathSpec describes one path's traffic.
+	TracePathSpec = trace.PathSpec
+)
+
+// DefaultTracePath returns a PathSpec at the given packet rate.
+func DefaultTracePath(ratePPS float64) TracePathSpec { return trace.DefaultPath(ratePPS) }
+
+// GenerateTrace materializes a synthetic trace.
+func GenerateTrace(cfg TraceConfig) ([]Packet, error) { return trace.Generate(cfg) }
+
+// Estimation.
+type (
+	// QuantileEstimate is a delay-quantile estimate with
+	// distribution-free confidence bounds.
+	QuantileEstimate = quantile.Estimate
+)
+
+// DefaultQuantiles are the quantiles reports cover (p50, p90, p99).
+var DefaultQuantiles = quantile.DefaultQuantiles
+
+// EstimateQuantile estimates one delay quantile from sampled delays.
+func EstimateQuantile(delaysNS []float64, q, confidence float64) (QuantileEstimate, error) {
+	return quantile.Quantile(delaysNS, q, confidence)
+}
+
+// Dissemination.
+type (
+	// ReceiptBundle is one signed reporting interval.
+	ReceiptBundle = dissem.Bundle
+	// BundleSigner signs bundles with a HOP's ed25519 key.
+	BundleSigner = dissem.Signer
+	// BundleServer publishes signed bundles over HTTP.
+	BundleServer = dissem.Server
+	// BundleClient fetches and authenticates bundles.
+	BundleClient = dissem.Client
+	// KeyRegistry maps HOPs to verification keys.
+	KeyRegistry = dissem.Registry
+)
+
+// NewBundleSigner derives a signer from a 32-byte seed.
+func NewBundleSigner(seed [32]byte) *BundleSigner { return dissem.NewSigner(seed) }
+
+// NewBundleServer builds a bundle publisher for one HOP.
+func NewBundleServer(hop HOPID, s *BundleSigner) *BundleServer { return dissem.NewServer(hop, s) }

@@ -1,0 +1,159 @@
+package vpm_test
+
+import (
+	"math"
+	"testing"
+
+	"vpm"
+)
+
+// TestPublicAPIEndToEnd walks the documented quickstart path through
+// the facade only: generate traffic, build the Figure 1 topology,
+// deploy, run, estimate, verify. It pins the public API surface the
+// examples and downstream users rely on.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	traceCfg := vpm.TraceConfig{
+		Seed:       101,
+		DurationNS: int64(400e6),
+		Paths:      []vpm.TracePathSpec{vpm.DefaultTracePath(100000)},
+	}
+	pkts, err := vpm.GenerateTrace(traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 30000 {
+		t.Fatalf("trace too small: %d", len(pkts))
+	}
+	key := vpm.PathKey{Src: traceCfg.Paths[0].SrcPrefix, Dst: traceCfg.Paths[0].DstPrefix}
+
+	path := vpm.Fig1Path(103)
+	xi := path.DomainIndex("X")
+	queue, err := vpm.NewCongestionQueue(vpm.BurstyUDPScenario(107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Domains[xi].Delay = queue
+	loss, err := vpm.GilbertElliottLoss(0.15, 8, 109)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Domains[xi].Loss = loss
+
+	dep, err := vpm.NewDeployment(path, traceCfg.Table(), vpm.DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := path.Run(pkts, dep.Observers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Finalize()
+
+	v := dep.NewVerifier(key)
+	rep, err := v.DomainReport("X", vpm.DefaultQuantiles, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTruth, ok := truth.DomainByName("X")
+	if !ok {
+		t.Fatal("no ground truth for X")
+	}
+	if math.Abs(rep.Loss.Rate()-xTruth.LossRate()) > 1e-9 {
+		t.Errorf("loss %v vs truth %v", rep.Loss.Rate(), xTruth.LossRate())
+	}
+	if len(rep.DelayEstimates) != 3 || rep.DelaySamples == 0 {
+		t.Fatalf("delay estimation incomplete: %+v", rep)
+	}
+	for _, lv := range v.VerifyAllLinks() {
+		if !lv.Consistent() {
+			t.Errorf("honest link flagged: %v", lv)
+		}
+	}
+}
+
+// TestPublicAPIAdversary exercises the facade's threat-model tooling.
+func TestPublicAPIAdversary(t *testing.T) {
+	traceCfg := vpm.TraceConfig{
+		Seed:       111,
+		DurationNS: int64(300e6),
+		Paths:      []vpm.TracePathSpec{vpm.DefaultTracePath(100000)},
+	}
+	pkts, err := vpm.GenerateTrace(traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := vpm.PathKey{Src: traceCfg.Paths[0].SrcPrefix, Dst: traceCfg.Paths[0].DstPrefix}
+	path := vpm.Fig1Path(113)
+	loss, err := vpm.GilbertElliottLoss(0.2, 8, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Domains[path.DomainIndex("X")].Loss = loss
+	dep, err := vpm.NewDeployment(path, traceCfg.Table(), vpm.DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := path.Run(pkts, dep.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	dep.Finalize()
+
+	v := vpm.NewVerifier(dep.Layout())
+	v.SetConfig(dep.VerifierConfig())
+	var xInS vpm.SampleReceipt
+	var xInA []vpm.AggReceipt
+	for hop, proc := range dep.Processors {
+		if hop == 5 {
+			continue
+		}
+		for _, s := range proc.CombinedSamples() {
+			if s.Path.Key == key {
+				v.AddSampleReceipt(hop, s)
+				if hop == 4 {
+					xInS = s
+				}
+			}
+		}
+		var aggs []vpm.AggReceipt
+		for _, a := range proc.Aggs {
+			if a.Path.Key == key {
+				aggs = append(aggs, a)
+			}
+		}
+		v.AddAggReceipts(hop, aggs)
+		if hop == 4 {
+			xInA = aggs
+		}
+	}
+	egressPath := path.PathIDFor(vpm.PathID{Key: key}, path.DomainIndex("X"), false)
+	fs, fa := vpm.FabricateDelivery(xInS, xInA, egressPath, 500_000)
+	v.AddSampleReceipt(5, fs)
+	v.AddAggReceipts(5, fa)
+	verdict := v.CheckLink(5, 6)
+	if verdict.Consistent() {
+		t.Fatal("facade adversary tooling failed to produce a detectable lie")
+	}
+}
+
+// TestPublicAPIReceipts pins receipt construction and combination.
+func TestPublicAPIReceipts(t *testing.T) {
+	p := vpm.PathID{Key: vpm.PathKey{
+		Src: vpm.MakePrefix(10, 0, 0, 0, 8),
+		Dst: vpm.MakePrefix(172, 16, 0, 0, 12),
+	}}
+	r1 := vpm.SampleReceipt{Path: p, Samples: []vpm.SampleRecord{{PktID: 1, TimeNS: 2}}}
+	r2 := vpm.SampleReceipt{Path: p, Samples: []vpm.SampleRecord{{PktID: 3, TimeNS: 4}}}
+	combined, err := vpm.CombineSamples(r1, r2)
+	if err != nil || len(combined.Samples) != 2 {
+		t.Fatalf("combine: %v, %d samples", err, len(combined.Samples))
+	}
+	a1 := vpm.AggReceipt{Path: p, PktCnt: 10}
+	a2 := vpm.AggReceipt{Path: p, PktCnt: 5}
+	agg, err := vpm.CombineAggregates(a1, a2)
+	if err != nil || agg.PktCnt != 15 {
+		t.Fatalf("aggregate combine: %v, count %d", err, agg.PktCnt)
+	}
+	if _, err := vpm.EstimateQuantile([]float64{1, 2, 3, 4, 5}, 0.5, 0.9); err != nil {
+		t.Fatalf("quantile: %v", err)
+	}
+}
