@@ -7,6 +7,7 @@
 package vpm
 
 import (
+	"fmt"
 	"testing"
 
 	"vpm/internal/core"
@@ -165,6 +166,85 @@ func forwardingWorkload(b *testing.B) ([]packet.Packet, [][]byte) {
 		wires[i] = pkts[i].Serialize(nil)
 	}
 	return pkts, wires
+}
+
+// collectorWorkload materializes the Fig1 foreground workload as a
+// ready-to-feed observation stream — the same stream cmd/vpm-bench's
+// throughput experiment measures.
+func collectorWorkload(b *testing.B) []netsim.Observation {
+	b.Helper()
+	obs, err := experiments.CollectorWorkload(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obs
+}
+
+func benchCollectorConfig(b *testing.B, shards int) core.CollectorConfig {
+	b.Helper()
+	return experiments.ThroughputCollectorConfig(benchTraceConfig().Table(), shards)
+}
+
+// BenchmarkObserveSerial is the baseline of the sharding acceptance
+// comparison: single-packet Observe calls through the netsim.Observer
+// interface, one virtual call, classification and map lookup per
+// packet — the pre-sharding hot path.
+func BenchmarkObserveSerial(b *testing.B) {
+	workload := collectorWorkload(b)
+	col, err := core.NewCollector(benchCollectorConfig(b, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs netsim.Observer = col
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range workload {
+			obs.Observe(workload[j].Pkt, workload[j].Digest, workload[j].TimeNS)
+		}
+		col.Drain()
+	}
+	reportThroughput(b, len(workload))
+}
+
+// BenchmarkObserveBatchSharded measures the sharded batch pipeline at
+// 1/2/4/8 shards on the same Fig1 workload. The acceptance bar is
+// ≥ 2× BenchmarkObserveSerial's packet rate at 4 shards.
+func BenchmarkObserveBatchSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			workload := collectorWorkload(b)
+			col, err := core.NewShardedCollector(benchCollectorConfig(b, shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const batch = experiments.ThroughputBatchSize
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(workload); off += batch {
+					end := off + batch
+					if end > len(workload) {
+						end = len(workload)
+					}
+					col.ObserveBatch(workload[off:end])
+				}
+				col.Drain()
+			}
+			reportThroughput(b, len(workload))
+		})
+	}
+}
+
+// reportThroughput converts a per-iteration packet count into the
+// pkts/s and ns/pkt metrics the perf trajectory tracks.
+func reportThroughput(b *testing.B, pktsPerIter int) {
+	total := float64(b.N) * float64(pktsPerIter)
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(total/secs, "pkts/s")
+		b.ReportMetric(secs*1e9/total, "ns/pkt")
+	}
 }
 
 // BenchmarkVerifiability regenerates the §7.2 verifiability numbers

@@ -4,19 +4,29 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
+//	          [-json] [-shards 1,2,4,8]
 //
 // The defaults reproduce the paper's scale (100k packets/second for
 // one second per experiment point). Use a smaller -duration for a
 // quick pass.
+//
+// -run throughput measures the collection pipeline (serial per-packet
+// Observe vs the sharded batch pipeline at each -shards count); with
+// -json it emits a machine-readable document (packets/sec, ns/packet,
+// shard count) so the perf trajectory can be tracked across PRs:
+//
+//	vpm-bench -run throughput -json -o BENCH_throughput.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,19 +35,30 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks")
+		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput")
 		duration = flag.Duration("duration", time.Second, "trace duration per experiment point")
 		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput experiment only)")
+		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -run throughput")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
+
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Config{
 		Seed:       *seed,
 		RatePPS:    *rate,
 		DurationNS: duration.Nanoseconds(),
+	}
+
+	if *jsonOut && *run != "throughput" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -125,9 +146,50 @@ func main() {
 		}
 		fmt.Fprint(w, experiments.AttacksRender(rows, *markdown))
 	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks)", *run))
+	if wanted("throughput") {
+		ran = true
+		rows, err := experiments.Throughput(cfg, shardCounts)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                      `json:"experiment"`
+				Seed       uint64                      `json:"seed"`
+				RatePPS    float64                     `json:"rate_pps"`
+				DurationNS int64                       `json:"duration_ns"`
+				Rows       []experiments.ThroughputRow `json:"rows"`
+			}{"throughput", cfg.Seed, cfg.RatePPS, cfg.DurationNS, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Collection pipeline — serial vs sharded throughput")
+			fmt.Fprint(w, experiments.ThroughputRender(rows, *markdown))
+		}
 	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput)", *run))
+	}
+}
+
+// parseShards parses the -shards list ("1,2,4,8").
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

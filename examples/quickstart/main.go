@@ -45,7 +45,11 @@ func main() {
 	}
 	path.Domains[xi].Loss = loss
 
-	// 3. Deploy VPM on every HOP and run the traffic.
+	// 3. Deploy VPM on every HOP and run the traffic. By default each
+	// HOP's collector is sharded across GOMAXPROCS cores
+	// (DeployConfig.Shards; set it to 1 to force the serial
+	// collector). Sharded and serial deployments emit identical
+	// receipts, so it is purely a throughput knob.
 	dep, err := vpm.NewDeployment(path, traceCfg.Table(), vpm.DefaultDeployConfig())
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module vpm
+
+go 1.24

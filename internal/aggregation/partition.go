@@ -151,12 +151,58 @@ func (p *Partitioner) Observe(pktID uint64, tNS int64) {
 	}
 }
 
+// ObserveBatch processes a slice of observations (PktID = digest,
+// TimeNS = observation time) in order — the batch hook the sharded
+// collector's per-path runs feed. Semantically identical to calling
+// Observe per record; the common case (not a cutting point, no
+// pending post-cut windows to feed) is inlined so only the packets
+// around a cut pay the full call.
+func (p *Partitioner) ObserveBatch(recs []receipt.SampleRecord) {
+	if p.windowNS <= 0 {
+		for i := range recs {
+			p.Observe(recs[i].PktID, recs[i].TimeNS)
+		}
+		return
+	}
+	delta := p.delta
+	for i := range recs {
+		r := recs[i]
+		if hashing.Exceeds(r.PktID, delta) || len(p.pending) > 0 {
+			p.Observe(r.PktID, r.TimeNS)
+			continue
+		}
+		// Fast path: extend the open aggregate and the recent window.
+		p.observed++
+		p.lastTime = r.TimeNS
+		p.evictRecent(r.TimeNS)
+		if !p.hasOpen {
+			p.openFirst, p.hasOpen = r.PktID, true
+		}
+		p.openLast = r.PktID
+		p.openCnt++
+		p.recent = append(p.recent, r)
+	}
+}
+
 // evict drops recent records older than J and finalizes pending
 // receipts whose deadline has passed.
 func (p *Partitioner) evict(now int64) {
 	if p.windowNS <= 0 {
 		return
 	}
+	p.evictRecent(now)
+	done := 0
+	for done < len(p.pending) && p.pending[done].deadline < now {
+		p.closed = append(p.closed, p.pending[done].rec)
+		done++
+	}
+	if done > 0 {
+		p.pending = append(p.pending[:0], p.pending[done:]...)
+	}
+}
+
+// evictRecent advances the recent window past records older than J.
+func (p *Partitioner) evictRecent(now int64) {
 	for p.recentHead < len(p.recent) && p.recent[p.recentHead].TimeNS < now-p.windowNS {
 		p.recentHead++
 	}
@@ -165,14 +211,6 @@ func (p *Partitioner) evict(now int64) {
 		n := copy(p.recent, p.recent[p.recentHead:])
 		p.recent = p.recent[:n]
 		p.recentHead = 0
-	}
-	done := 0
-	for done < len(p.pending) && p.pending[done].deadline < now {
-		p.closed = append(p.closed, p.pending[done].rec)
-		done++
-	}
-	if done > 0 {
-		p.pending = append(p.pending[:0], p.pending[done:]...)
 	}
 }
 

@@ -23,8 +23,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"vpm/internal/aggregation"
+	"vpm/internal/netsim"
 	"vpm/internal/packet"
 	"vpm/internal/receipt"
 	"vpm/internal/sampling"
@@ -37,12 +39,22 @@ type CollectorConfig struct {
 	// Table classifies packet addresses into origin prefixes.
 	Table *packet.Table
 	// PathID derives the full PathID (prev/next HOP, MaxDiff) this
-	// HOP stamps on receipts for a given origin-prefix pair.
+	// HOP stamps on receipts for a given origin-prefix pair. A
+	// ShardedCollector invokes it concurrently from its shard
+	// goroutines when new paths appear, so the function must be safe
+	// for concurrent use (a pure function of key, the common case, is
+	// always fine). It must also be injective — distinct keys map to
+	// distinct PathIDs (natural, since the PathID embeds the key);
+	// collectors assume one PathID names one path when draining.
 	PathID func(key packet.PathKey) receipt.PathID
 	// Sampling configures Algorithm 1 (µ is system-wide, σ local).
 	Sampling sampling.Config
 	// Aggregation configures Algorithm 2 (δ local, J system-wide).
 	Aggregation aggregation.Config
+	// Shards selects the collector parallelism NewPathCollector
+	// builds: 0 means auto (GOMAXPROCS), 1 a single-threaded
+	// Collector, N ≥ 2 a ShardedCollector with N shards.
+	Shards int
 }
 
 // Validate checks the configuration.
@@ -53,10 +65,45 @@ func (c CollectorConfig) Validate() error {
 	if c.PathID == nil {
 		return fmt.Errorf("core: collector needs a PathID builder")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
 	if err := c.Sampling.Validate(); err != nil {
 		return err
 	}
 	return c.Aggregation.Validate()
+}
+
+// PathCollector is the data-plane surface a Deployment drives. Both
+// the single-threaded Collector and the hash-partitioned
+// ShardedCollector implement it, so everything downstream (Processor,
+// Deployment, netsim replay) is agnostic to the sharding choice.
+type PathCollector interface {
+	netsim.Observer
+	netsim.BatchObserver
+	// HOP returns the collector's HOP identity.
+	HOP() receipt.HOPID
+	// Drain returns receipts finalized since the last Drain, in
+	// deterministic (PathID-sorted) order.
+	Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt)
+	// Flush finalizes all open state and returns the remaining
+	// receipts, in deterministic order.
+	Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt)
+	// Memory reports the §7.1 memory accounting.
+	Memory() MemoryStats
+	// Stats returns (packets observed, packets that matched no
+	// prefix).
+	Stats() (observed, unclassified uint64)
+}
+
+// NewPathCollector builds the collector variant cfg.Shards selects: a
+// single-threaded Collector when the resolved shard count is 1, a
+// ShardedCollector otherwise (Shards == 0 resolves to GOMAXPROCS).
+func NewPathCollector(cfg CollectorConfig) (PathCollector, error) {
+	if resolveShards(cfg.Shards) == 1 {
+		return NewCollector(cfg)
+	}
+	return NewShardedCollector(cfg)
 }
 
 // pathState is the collector's per-active-path state: one open
@@ -68,9 +115,18 @@ type pathState struct {
 	part    *aggregation.Partitioner
 }
 
-// Collector is the data-plane module of one HOP. It implements
-// netsim.Observer. Not safe for concurrent use (a real router shards
-// by interface; shard collectors the same way).
+// Collector is the single-threaded data-plane module of one HOP. It
+// implements PathCollector (and thereby netsim.Observer and
+// netsim.BatchObserver).
+//
+// Concurrency model: a Collector is one shard's worth of data plane —
+// all of its state (path map, samplers, partitioners, counters) is
+// owned by a single goroutine and its per-packet path takes no locks,
+// exactly the §7.1 budget of three memory accesses, one hash function
+// and one timestamp computation. To use more than one core per HOP,
+// wrap the same config in a ShardedCollector, which hash-partitions
+// paths across N Collectors-worth of shard state the way a real router
+// shards by interface; the two are receipt-for-receipt equivalent.
 type Collector struct {
 	cfg   CollectorConfig
 	paths map[packet.PathKey]*pathState
@@ -111,13 +167,25 @@ func (c *Collector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
 	st.sampler.Observe(digest, tNS)
 }
 
+// ObserveBatch processes a slice of observations in order — the
+// netsim.BatchObserver entry point. Semantically identical to calling
+// Observe per packet; the ShardedCollector adds the cross-core
+// fan-out.
+func (c *Collector) ObserveBatch(batch []netsim.Observation) {
+	for i := range batch {
+		c.Observe(batch[i].Pkt, batch[i].Digest, batch[i].TimeNS)
+	}
+}
+
 // HOP returns the collector's HOP identity.
 func (c *Collector) HOP() receipt.HOPID { return c.cfg.HOP }
 
 // Drain returns the receipts finalized since the last Drain: one
 // sample receipt per active path (possibly empty ones are skipped)
-// plus all closed aggregate receipts. The control-plane processor
-// calls this periodically.
+// plus all closed aggregate receipts, sorted by PathID so that
+// identical runs drain identical receipt sequences regardless of map
+// iteration order. The control-plane processor calls this
+// periodically.
 func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 	var samples []receipt.SampleReceipt
 	var aggs []receipt.AggReceipt
@@ -127,11 +195,14 @@ func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 		}
 		aggs = append(aggs, st.part.Take()...)
 	}
+	samples = mergeSamplesByPath(samples)
+	sortReceipts(samples, aggs)
 	return samples, aggs
 }
 
 // Flush finalizes all open state (end of reporting period or stream)
-// and returns the remaining receipts.
+// and returns the remaining receipts, in the same deterministic order
+// as Drain.
 func (c *Collector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 	var samples []receipt.SampleReceipt
 	var aggs []receipt.AggReceipt
@@ -141,7 +212,22 @@ func (c *Collector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 			samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
 		}
 	}
+	samples = mergeSamplesByPath(samples)
+	sortReceipts(samples, aggs)
 	return samples, aggs
+}
+
+// sortReceipts puts drained receipts into the canonical deterministic
+// order: sample receipts sorted by PathID; aggregate receipts stably
+// sorted by PathID only, so each path's aggregates keep their stream
+// order (CombineAggregates relies on it).
+func sortReceipts(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	sort.Slice(samples, func(a, b int) bool {
+		return samples[a].Path.Compare(samples[b].Path) < 0
+	})
+	sort.SliceStable(aggs, func(a, b int) bool {
+		return aggs[a].Path.Compare(aggs[b].Path) < 0
+	})
 }
 
 // MemoryStats is the §7.1 memory-budget breakdown of a collector.

@@ -39,6 +39,11 @@ type DeployConfig struct {
 	// SkipDomains lists domains that have not deployed VPM (§8,
 	// partial deployment): their HOPs produce no receipts.
 	SkipDomains map[string]bool
+	// Shards selects each HOP collector's parallelism: 0 auto
+	// (GOMAXPROCS), 1 single-threaded, N ≥ 2 a ShardedCollector with
+	// N shards. Sharded and serial deployments produce identical
+	// receipts for identical traffic.
+	Shards int
 }
 
 // DefaultDeployConfig returns the configuration the experiments use as
@@ -79,7 +84,7 @@ func DefaultAggregationConfig() aggregation.Config {
 type Deployment struct {
 	Path       *netsim.Path
 	Table      *packet.Table
-	Collectors map[receipt.HOPID]*Collector
+	Collectors map[receipt.HOPID]PathCollector
 	Processors map[receipt.HOPID]*Processor
 
 	markerThreshold  uint64
@@ -95,7 +100,7 @@ func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*D
 	d := &Deployment{
 		Path:             path,
 		Table:            table,
-		Collectors:       make(map[receipt.HOPID]*Collector),
+		Collectors:       make(map[receipt.HOPID]PathCollector),
 		Processors:       make(map[receipt.HOPID]*Processor),
 		markerThreshold:  hashing.ThresholdForRate(cfg.MarkerRate),
 		sampleThresholds: make(map[receipt.HOPID]uint64),
@@ -122,7 +127,7 @@ func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*D
 		}
 		for _, h := range hops {
 			di, ingress := di, h.ingress
-			col, err := NewCollector(CollectorConfig{
+			col, err := NewPathCollector(CollectorConfig{
 				HOP:   h.id,
 				Table: table,
 				PathID: func(key packet.PathKey) receipt.PathID {
@@ -136,6 +141,7 @@ func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*D
 					CutRate:  tune.AggRate,
 					WindowNS: cfg.WindowNS,
 				},
+				Shards: cfg.Shards,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: HOP %v: %w", h.id, err)

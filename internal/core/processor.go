@@ -7,9 +7,10 @@ import (
 // Processor is the control-plane module of §7: it periodically reads
 // finalized receipts out of a collector's monitoring cache, retains
 // them for dissemination, and accounts for the receipt bandwidth —
-// the tunable cost knob of the protocol.
+// the tunable cost knob of the protocol. It drives any PathCollector
+// — single-threaded or sharded.
 type Processor struct {
-	c *Collector
+	c PathCollector
 
 	Samples []receipt.SampleReceipt
 	Aggs    []receipt.AggReceipt
@@ -19,7 +20,7 @@ type Processor struct {
 }
 
 // NewProcessor attaches a processor to a collector.
-func NewProcessor(c *Collector) *Processor {
+func NewProcessor(c PathCollector) *Processor {
 	return &Processor{c: c}
 }
 

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/hashing"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/sampling"
+)
+
+// resolveShards maps the CollectorConfig.Shards knob to an actual
+// shard count: 0 means GOMAXPROCS, anything else is taken literally.
+func resolveShards(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// pathKeyHash hashes a PathKey for shard selection and for the
+// per-shard path-state memo. It packs both prefix addresses into one
+// word and folds the prefix lengths in before mixing.
+func pathKeyHash(key packet.PathKey) uint64 {
+	src := uint64(binary.BigEndian.Uint32(key.Src.Addr[:]))
+	dst := uint64(binary.BigEndian.Uint32(key.Dst.Addr[:]))
+	bits := uint64(key.Src.Bits)<<6 | uint64(key.Dst.Bits)
+	return hashing.Mix64((src<<32 | dst) ^ bits*0x9e3779b97f4a7c15)
+}
+
+// classifyCacheSize is the dispatcher's direct-mapped classification
+// cache: it short-circuits the two longest-prefix-match lookups for
+// recently seen (source, destination) address pairs. Flows repeat
+// addresses for many packets, so even a small cache hits almost
+// always. Must be a power of two.
+const classifyCacheSize = 512
+
+// classifyEntry caches one address pair's classification outcome.
+type classifyEntry struct {
+	addrs uint64 // src<<32 | dst
+	valid bool
+	ok    bool // false: pair matched no prefix (still cached)
+	key   packet.PathKey
+	hash  uint64 // pathKeyHash(key), valid only when ok
+	shard uint32
+}
+
+// stateMemoSize is each shard's direct-mapped PathKey → *pathState
+// memo, skipping the path-map lookup for runs of hot paths. Must be a
+// power of two.
+const stateMemoSize = 64
+
+// stateMemoEntry caches one shard-local path-state lookup.
+type stateMemoEntry struct {
+	key   packet.PathKey
+	state *pathState
+}
+
+// shardRun is a maximal run of consecutive same-path observations in
+// a shard's sub-batch: the dispatcher run-length-encodes while
+// partitioning, so the shard worker feeds whole runs to the batch
+// hooks without per-packet key comparisons or copies.
+type shardRun struct {
+	key  packet.PathKey
+	hash uint64 // pathKeyHash(key), for the memo index
+	n    int
+}
+
+// shard is one lock-free slice of a ShardedCollector: its own path
+// map, samplers and partitioner state, touched only by the goroutine
+// currently processing this shard's sub-batch.
+type shard struct {
+	cfg   *CollectorConfig
+	paths map[packet.PathKey]*pathState
+	memo  [stateMemoSize]stateMemoEntry
+
+	// Reusable sub-batch buffers, filled by the dispatcher: the
+	// observations in shard-arrival order plus their run-length
+	// encoding by path.
+	runs []shardRun
+	recs []receipt.SampleRecord
+}
+
+// stateFor returns (creating on first use) the shard's state for key.
+func (s *shard) stateFor(key packet.PathKey, hash uint64) *pathState {
+	m := &s.memo[hash&(stateMemoSize-1)]
+	if m.state != nil && m.key == key {
+		return m.state
+	}
+	st, ok := s.paths[key]
+	if !ok {
+		id := s.cfg.PathID(key)
+		st = &pathState{
+			id:      id,
+			sampler: sampling.New(s.cfg.Sampling),
+			part:    aggregation.New(s.cfg.Aggregation, id),
+		}
+		s.paths[key] = st
+	}
+	m.key, m.state = key, st
+	return st
+}
+
+// process runs the shard's pending sub-batch through Algorithm 1 and
+// Algorithm 2, feeding each same-path run to the batch hooks so
+// per-packet dispatch is amortized. Observations stay in arrival
+// order, so the shard's per-path state evolves exactly as a serial
+// collector's would.
+func (s *shard) process() {
+	recs := s.recs
+	off := 0
+	for i := range s.runs {
+		r := &s.runs[i]
+		st := s.stateFor(r.key, r.hash)
+		run := recs[off : off+r.n]
+		st.part.ObserveBatch(run)
+		st.sampler.ObserveBatch(run)
+		off += r.n
+	}
+	s.runs = s.runs[:0]
+	s.recs = recs[:0]
+}
+
+// ShardedCollector is the multi-core data-plane module of one HOP: it
+// hash-partitions PathKeys across N single-threaded collector shards,
+// each owning its own path map, sampler and partitioner state, so the
+// per-packet path needs no locks. It implements PathCollector and is
+// receipt-for-receipt equivalent to a single Collector fed the same
+// observations (each path's stream lands wholly in one shard, in
+// arrival order).
+//
+// Concurrency model: Observe/ObserveBatch/Drain/Flush must be called
+// from one goroutine at a time (netsim's replay gives each HOP's
+// observer its own goroutine); inside ObserveBatch the shards process
+// their sub-batches concurrently and the call returns only when all
+// shards are done.
+type ShardedCollector struct {
+	cfg    CollectorConfig
+	shards []*shard
+	cache  [classifyCacheSize]classifyEntry
+
+	observed     uint64
+	unclassified uint64
+}
+
+// NewShardedCollector builds a sharded collector with
+// resolveShards(cfg.Shards) shards (0 = GOMAXPROCS).
+func NewShardedCollector(cfg CollectorConfig) (*ShardedCollector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := resolveShards(cfg.Shards)
+	c := &ShardedCollector{cfg: cfg, shards: make([]*shard, n)}
+	for i := range c.shards {
+		c.shards[i] = &shard{cfg: &c.cfg, paths: make(map[packet.PathKey]*pathState)}
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *ShardedCollector) NumShards() int { return len(c.shards) }
+
+// HOP returns the collector's HOP identity.
+func (c *ShardedCollector) HOP() receipt.HOPID { return c.cfg.HOP }
+
+// classify resolves a packet's PathKey, shard and path hash through
+// the direct-mapped cache, falling back to the prefix table's
+// longest-prefix match on a miss.
+func (c *ShardedCollector) classify(pkt *packet.Packet) (key packet.PathKey, hash uint64, sh uint32, ok bool) {
+	addrs := uint64(binary.BigEndian.Uint32(pkt.Src[:]))<<32 | uint64(binary.BigEndian.Uint32(pkt.Dst[:]))
+	e := &c.cache[hashing.Mix64(addrs)&(classifyCacheSize-1)]
+	if e.valid && e.addrs == addrs {
+		return e.key, e.hash, e.shard, e.ok
+	}
+	key, ok = c.cfg.Table.Classify(pkt)
+	e.addrs, e.valid, e.ok = addrs, true, ok
+	if ok {
+		hash = pathKeyHash(key)
+		sh = uint32(hash % uint64(len(c.shards)))
+		e.key, e.hash, e.shard = key, hash, sh
+	}
+	return key, hash, sh, ok
+}
+
+// Observe processes one packet observation — the single-packet
+// compatibility shim. It runs the owning shard inline.
+func (c *ShardedCollector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
+	c.observed++
+	key, hash, sh, ok := c.classify(pkt)
+	if !ok {
+		c.unclassified++
+		return
+	}
+	st := c.shards[sh].stateFor(key, hash)
+	st.part.Observe(digest, tNS)
+	st.sampler.Observe(digest, tNS)
+}
+
+// ObserveBatch processes a batch of observations: the dispatcher
+// classifies and partitions the batch into per-shard sub-batches
+// (preserving arrival order within each shard), then the busy shards
+// run concurrently, one goroutine each.
+func (c *ShardedCollector) ObserveBatch(batch []netsim.Observation) {
+	c.observed += uint64(len(batch))
+	for i := range batch {
+		key, hash, sh, ok := c.classify(batch[i].Pkt)
+		if !ok {
+			c.unclassified++
+			continue
+		}
+		s := c.shards[sh]
+		s.recs = append(s.recs, receipt.SampleRecord{PktID: batch[i].Digest, TimeNS: batch[i].TimeNS})
+		if n := len(s.runs); n > 0 {
+			if r := &s.runs[n-1]; r.hash == hash && r.key == key {
+				r.n++
+				continue
+			}
+		}
+		s.runs = append(s.runs, shardRun{key: key, hash: hash, n: 1})
+	}
+	var busy []*shard
+	for _, s := range c.shards {
+		if len(s.recs) > 0 {
+			busy = append(busy, s)
+		}
+	}
+	if len(busy) == 0 {
+		return
+	}
+	// The dispatcher processes the last busy shard itself instead of
+	// parking in Wait — one fewer goroutine handoff per batch.
+	var wg sync.WaitGroup
+	for _, s := range busy[:len(busy)-1] {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			s.process()
+		}(s)
+	}
+	busy[len(busy)-1].process()
+	wg.Wait()
+}
+
+// Drain returns the receipts finalized since the last Drain across
+// all shards, merged per path via the ⊎ combination operators and
+// sorted by PathID — identical runs drain identical receipt
+// sequences, and a sharded drain is byte-identical to a serial one.
+func (c *ShardedCollector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	var samples []receipt.SampleReceipt
+	var aggs []receipt.AggReceipt
+	for _, s := range c.shards {
+		for _, st := range s.paths {
+			if recs := st.sampler.Take(); len(recs) > 0 {
+				samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+			}
+			aggs = append(aggs, st.part.Take()...)
+		}
+	}
+	samples = mergeSamplesByPath(samples)
+	sortReceipts(samples, aggs)
+	return samples, aggs
+}
+
+// Flush finalizes all shards' open state and returns the remaining
+// receipts, in the same deterministic order as Drain.
+func (c *ShardedCollector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	var samples []receipt.SampleReceipt
+	var aggs []receipt.AggReceipt
+	for _, s := range c.shards {
+		for _, st := range s.paths {
+			aggs = append(aggs, st.part.Flush()...)
+			if recs := st.sampler.Take(); len(recs) > 0 {
+				samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+			}
+		}
+	}
+	samples = mergeSamplesByPath(samples)
+	sortReceipts(samples, aggs)
+	return samples, aggs
+}
+
+// mergeSamplesByPath combines sample receipts that share a PathID via
+// receipt.CombineSamples, upholding Drain's one-receipt-per-path
+// contract. With an injective PathID builder (the documented
+// requirement) duplicates cannot occur; the merge keeps serial and
+// sharded drains behaving identically even if a caller breaks it.
+func mergeSamplesByPath(samples []receipt.SampleReceipt) []receipt.SampleReceipt {
+	byPath := make(map[receipt.PathID]int, len(samples))
+	out := samples[:0]
+	for _, s := range samples {
+		if i, ok := byPath[s.Path]; ok {
+			merged, err := receipt.CombineSamples(out[i], s)
+			if err != nil {
+				// Unreachable: entries are grouped by identical
+				// PathID, the only error CombineSamples has. Loud is
+				// better than silently dropping measurements.
+				panic(err)
+			}
+			out[i] = merged
+			continue
+		}
+		byPath[s.Path] = len(out)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Memory reports the §7.1 memory accounting aggregated across shards:
+// path counts and cache bytes sum, the temp-buffer peak is the
+// per-shard maximum (each shard owns its own buffers).
+func (c *ShardedCollector) Memory() MemoryStats {
+	var m MemoryStats
+	for _, s := range c.shards {
+		m.ActivePaths += len(s.paths)
+		m.MonitoringCacheBytes += len(s.paths) * receipt.BaseAggReceiptBytes
+		for _, st := range s.paths {
+			if hw := st.sampler.TempHighWater(); hw > m.TempBufferPeakEntries {
+				m.TempBufferPeakEntries = hw
+			}
+		}
+	}
+	m.TempBufferPeakBytes = m.TempBufferPeakEntries * receipt.SampleRecordBytes
+	return m
+}
+
+// Stats returns (packets observed, packets that matched no prefix).
+func (c *ShardedCollector) Stats() (observed, unclassified uint64) {
+	return c.observed, c.unclassified
+}

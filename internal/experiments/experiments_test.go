@@ -298,7 +298,7 @@ func TestClickRows(t *testing.T) {
 	// a single core above 2 Mpkts/s (~6.4 Gbps at 400 B packets),
 	// comfortably inside "modern network capabilities" for a
 	// multi-core line card.
-	if rows[1].PktsPerSec < 2e6 {
+	if !raceEnabled && rows[1].PktsPerSec < 2e6 {
 		t.Errorf("with collector: %.2f Mpkts/s — below the 2 Mpps/core budget",
 			rows[1].PktsPerSec/1e6)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; wall-
+// clock throughput budgets don't hold under its ~10× slowdown, so
+// perf-assertion tests consult it.
+const raceEnabled = true

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vpm/internal/core"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/trace"
+)
+
+// ThroughputRow is one line of the collection-pipeline throughput
+// experiment: packets per second through a HOP collector in a given
+// configuration. Mode "serial" is the pre-sharding hot path
+// (single-packet Observe through the netsim.Observer interface);
+// mode "sharded" is the batched ShardedCollector at Shards shards.
+// The JSON tags are the machine-readable schema cmd/vpm-bench -json
+// emits, so the perf trajectory can be tracked across PRs in
+// BENCH_*.json files.
+type ThroughputRow struct {
+	Mode       string  `json:"mode"`
+	Shards     int     `json:"shards"`
+	Packets    int     `json:"packets"`
+	PktsPerSec float64 `json:"packets_per_sec"`
+	NSPerPkt   float64 `json:"ns_per_packet"`
+}
+
+// ThroughputBatchSize is the feed granularity of all collector
+// throughput measurements (this experiment and the repo-root
+// benchmarks) — netsim's replay batch size, so measured numbers
+// reflect what the real pipeline delivers per ObserveBatch call.
+const ThroughputBatchSize = netsim.ReplayBatchSize
+
+// CollectorWorkload materializes a trace as a ready-to-feed
+// observation stream (packets, digests, arrival-ordered timestamps)
+// for collector throughput measurement. The repo-root benchmarks and
+// the Throughput experiment share it so both measure the same
+// workload shape.
+func CollectorWorkload(tc trace.Config) ([]netsim.Observation, error) {
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	workload := make([]netsim.Observation, len(pkts))
+	for i := range pkts {
+		workload[i] = netsim.Observation{Pkt: &pkts[i], Digest: pkts[i].Digest(1), TimeNS: int64(i) * 10_000}
+	}
+	return workload, nil
+}
+
+// ThroughputCollectorConfig is the standalone-collector configuration
+// the throughput measurements use (HOP 4 with an identity PathID, the
+// default protocol parameters, and the given shard count).
+func ThroughputCollectorConfig(table *packet.Table, shards int) core.CollectorConfig {
+	return core.CollectorConfig{
+		HOP:   4,
+		Table: table,
+		PathID: func(key packet.PathKey) receipt.PathID {
+			return receipt.PathID{Key: key}
+		},
+		Sampling:    core.DefaultSamplingConfig(),
+		Aggregation: core.DefaultAggregationConfig(),
+		Shards:      shards,
+	}
+}
+
+// Throughput measures the collector data plane on the Fig1 foreground
+// workload: the serial per-packet baseline, then the sharded batch
+// pipeline at each of shardCounts (default 1, 2, 4, 8).
+func Throughput(cfg Config, shardCounts []int) ([]ThroughputRow, error) {
+	cfg = cfg.Normalize()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	tc := trace.Config{
+		Seed:       cfg.Seed + 7,
+		DurationNS: cfg.DurationNS,
+		Paths:      []trace.PathSpec{trace.DefaultPath(cfg.RatePPS)},
+	}
+	workload, err := CollectorWorkload(tc)
+	if err != nil {
+		return nil, err
+	}
+	colCfg := func(shards int) core.CollectorConfig {
+		return ThroughputCollectorConfig(tc.Table(), shards)
+	}
+
+	var rows []ThroughputRow
+	serial, err := core.NewCollector(colCfg(1))
+	if err != nil {
+		return nil, err
+	}
+	var obs netsim.Observer = serial
+	start := time.Now()
+	for i := range workload {
+		obs.Observe(workload[i].Pkt, workload[i].Digest, workload[i].TimeNS)
+	}
+	serial.Drain()
+	rows = append(rows, throughputRow("serial", 1, len(workload), time.Since(start)))
+
+	for _, shards := range shardCounts {
+		col, err := core.NewShardedCollector(colCfg(shards))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for off := 0; off < len(workload); off += ThroughputBatchSize {
+			end := off + ThroughputBatchSize
+			if end > len(workload) {
+				end = len(workload)
+			}
+			col.ObserveBatch(workload[off:end])
+		}
+		col.Drain()
+		rows = append(rows, throughputRow("sharded", col.NumShards(), len(workload), time.Since(start)))
+	}
+	return rows, nil
+}
+
+func throughputRow(mode string, shards, n int, d time.Duration) ThroughputRow {
+	return ThroughputRow{
+		Mode:       mode,
+		Shards:     shards,
+		Packets:    n,
+		PktsPerSec: float64(n) / d.Seconds(),
+		NSPerPkt:   float64(d.Nanoseconds()) / float64(n),
+	}
+}
+
+// ThroughputRender renders the rows.
+func ThroughputRender(rows []ThroughputRow, markdown bool) string {
+	header := []string{"Mode", "Shards", "Mpkts/s", "ns/pkt"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%.2f", r.PktsPerSec/1e6),
+			fmt.Sprintf("%.1f", r.NSPerPkt),
+		})
+	}
+	if markdown {
+		return Markdown(header, body)
+	}
+	return Table(header, body)
+}

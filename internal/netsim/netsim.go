@@ -13,11 +13,26 @@
 // non-deploying domain). Ground truth — per-domain loss counts and
 // true per-packet delays — is recorded on the side for the
 // experiments' accuracy metrics.
+//
+// Concurrency: the per-packet forwarding sweep is serial by design —
+// loss processes and congestion queues are stateful, so drop and delay
+// decisions are only deterministic when consulted in send order, and
+// ground truth accumulates in that same sweep without atomics. The
+// expensive phases around it run in parallel: packet digests are
+// computed by a chunked worker pool, and each HOP's observation replay
+// runs in its own goroutine (bounded by a worker pool), delivering that
+// HOP's observations in arrival order as batches. HOPs that share an
+// Observer instance are grouped into one goroutine, so an observer
+// never sees concurrent calls; distinct observers must tolerate running
+// concurrently with each other.
 package netsim
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"sort"
+	"sync"
 
 	"vpm/internal/lossmodel"
 	"vpm/internal/packet"
@@ -52,6 +67,39 @@ type ObserverFunc func(pkt *packet.Packet, digest uint64, tNS int64)
 
 // Observe calls f.
 func (f ObserverFunc) Observe(pkt *packet.Packet, digest uint64, tNS int64) { f(pkt, digest, tNS) }
+
+// Observation is one packet observation at a HOP: the packet, its
+// 64-bit digest under the deployment seed, and the HOP's (possibly
+// skewed) observation timestamp. The packet pointer is valid only for
+// the duration of the ObserveBatch call that carries it.
+type Observation struct {
+	Pkt    *packet.Packet
+	Digest uint64
+	TimeNS int64
+}
+
+// BatchObserver is the batched extension of Observer: observers that
+// implement it receive observations in arrival-order slices, amortizing
+// dispatch and classification over the batch instead of paying one
+// virtual call per packet. core.Collector and core.ShardedCollector
+// implement it; Deliver is the compatibility shim for observers that
+// only implement single-packet Observe.
+type BatchObserver interface {
+	ObserveBatch(batch []Observation)
+}
+
+// Deliver feeds a batch of observations to obs: through ObserveBatch
+// when obs implements BatchObserver, one Observe call per packet
+// otherwise. The batch must be in arrival order.
+func Deliver(obs Observer, batch []Observation) {
+	if bo, ok := obs.(BatchObserver); ok {
+		bo.ObserveBatch(batch)
+		return
+	}
+	for i := range batch {
+		obs.Observe(batch[i].Pkt, batch[i].Digest, batch[i].TimeNS)
+	}
+}
 
 // DomainSpec describes one domain on the path.
 type DomainSpec struct {
@@ -187,6 +235,10 @@ type hopObservation struct {
 // observer. observers maps HOP ID → Observer; HOPs without an entry
 // are non-deploying (partial deployment, §8). Run is deterministic
 // given the path seed.
+//
+// Distinct observers are called concurrently (one goroutine per
+// observer, bounded by a worker pool); each individual observer still
+// sees its observations from a single goroutine, in arrival order.
 func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -216,9 +268,11 @@ func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (
 	}
 
 	digests := make([]uint64, len(pkts))
-	for i := range pkts {
-		digests[i] = pkts[i].Digest(p.Seed)
-	}
+	parallelChunks(len(pkts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			digests[i] = pkts[i].Digest(p.Seed)
+		}
+	})
 
 	obsPerHop := make([][]hopObservation, nHops+1) // 1-based HOP IDs
 
@@ -286,17 +340,129 @@ func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (
 		}
 	}
 
-	// Replay each HOP's observations in arrival order.
+	// Replay each HOP's observations in arrival order. HOPs replay
+	// concurrently (one goroutine per observer group, bounded by a
+	// worker pool); within a HOP, observations are delivered in
+	// arrival-order batches through the BatchObserver fast path. HOPs
+	// that share an Observer instance replay sequentially in one
+	// goroutine, preserving the serial semantics an aliased observer
+	// expects.
+	var groups []replayGroup
 	for hop := 1; hop <= nHops; hop++ {
 		obs, ok := observers[receipt.HOPID(hop)]
 		if !ok || obs == nil {
 			continue
 		}
-		events := obsPerHop[hop]
-		sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
-		for _, e := range events {
-			obs.Observe(&pkts[e.pktIdx], digests[e.pktIdx], e.timeNS)
+		if gi := findGroup(groups, obs); gi >= 0 {
+			groups[gi].hops = append(groups[gi].hops, hop)
+		} else {
+			groups = append(groups, replayGroup{obs: obs, hops: []int{hop}})
 		}
 	}
+	sem := make(chan struct{}, replayWorkers())
+	var wg sync.WaitGroup
+	for gi := range groups {
+		g := &groups[gi]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			batch := make([]Observation, 0, ReplayBatchSize)
+			for _, hop := range g.hops {
+				events := obsPerHop[hop]
+				sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
+				for off := 0; off < len(events); off += ReplayBatchSize {
+					end := off + ReplayBatchSize
+					if end > len(events) {
+						end = len(events)
+					}
+					batch = batch[:0]
+					for _, e := range events[off:end] {
+						batch = append(batch, Observation{
+							Pkt:    &pkts[e.pktIdx],
+							Digest: digests[e.pktIdx],
+							TimeNS: e.timeNS,
+						})
+					}
+					Deliver(g.obs, batch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return res, nil
+}
+
+// ReplayBatchSize is the observation-slice granularity of the replay
+// (and of the throughput measurements, which feed collectors the same
+// way): large enough to amortize batch dispatch and keep the sharded
+// collector's per-shard runs long, small enough that the per-goroutine
+// scratch slice (~100 KB) stays cache-friendly. 4096 measured ~10%
+// faster than 2048 on the Fig1 workload.
+const ReplayBatchSize = 4096
+
+// replayGroup is the replay work of one observer: all HOPs attached to
+// the same Observer instance, replayed sequentially in HOP order.
+type replayGroup struct {
+	obs  Observer
+	hops []int
+}
+
+// findGroup returns the index of the group that must also replay obs,
+// or -1 for a new group. Comparable observers group by identity.
+// Observers of non-comparable dynamic type (e.g. ObserverFunc) cannot
+// be tested for identity, so they all share one sequential group —
+// conservatively preserving the serial-replay guarantee for a closure
+// registered under several HOPs, at the cost of parallelism between
+// distinct non-comparable observers.
+func findGroup(groups []replayGroup, obs Observer) int {
+	comparable := reflect.TypeOf(obs).Comparable()
+	for i := range groups {
+		gc := reflect.TypeOf(groups[i].obs).Comparable()
+		if !comparable && !gc {
+			return i
+		}
+		if comparable && gc && groups[i].obs == obs {
+			return i
+		}
+	}
+	return -1
+}
+
+// replayWorkers bounds the number of concurrently replaying observer
+// groups. At least two even on a single-core box, so the race detector
+// exercises the concurrent replay path.
+func replayWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// parallelChunks runs fn over [0,n) split into contiguous chunks, one
+// per worker. fn must only touch its own index range.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := replayWorkers()
+	const minChunk = 4096
+	if n < 2*minChunk || workers < 2 {
+		fn(0, n)
+		return
+	}
+	if n < workers*minChunk {
+		workers = n / minChunk
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }

@@ -183,6 +183,90 @@ func TestObserverOrderAndCompleteness(t *testing.T) {
 	}
 }
 
+// TestSharedObserverStaysSequential pins the aliasing contract of the
+// parallel replay: when the same Observer instance is attached to
+// several HOPs, those HOPs replay sequentially (in HOP order) in one
+// goroutine, so a non-thread-safe observer sees exactly what the old
+// serial replay delivered.
+func TestSharedObserverStaysSequential(t *testing.T) {
+	pkts := testTrace(t, 20000, int64(200e6))
+
+	sep4, sep5 := &recorder{}, &recorder{}
+	p := Fig1Path(12)
+	if _, err := p.Run(pkts, map[receipt.HOPID]Observer{4: sep4, 5: sep5}); err != nil {
+		t.Fatal(err)
+	}
+
+	shared := &recorder{}
+	p = Fig1Path(12)
+	if _, err := p.Run(pkts, map[receipt.HOPID]Observer{4: shared, 5: shared}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := append(append([]uint64{}, sep4.ids...), sep5.ids...)
+	if len(shared.ids) != len(want) {
+		t.Fatalf("shared observer saw %d observations, want %d", len(shared.ids), len(want))
+	}
+	for i := range want {
+		if shared.ids[i] != want[i] {
+			t.Fatalf("shared observer order diverges at %d: HOP replay not sequential", i)
+		}
+	}
+}
+
+// TestBatchObserverDelivery checks that a BatchObserver receives the
+// same observations, in the same order, as a plain Observer.
+func TestBatchObserverDelivery(t *testing.T) {
+	pkts := testTrace(t, 20000, int64(200e6))
+
+	plain := &recorder{}
+	p := Fig1Path(13)
+	if _, err := p.Run(pkts, map[receipt.HOPID]Observer{4: plain}); err != nil {
+		t.Fatal(err)
+	}
+
+	batched := &batchRecorder{}
+	p = Fig1Path(13)
+	if _, err := p.Run(pkts, map[receipt.HOPID]Observer{4: batched}); err != nil {
+		t.Fatal(err)
+	}
+
+	if batched.singles != 0 {
+		t.Fatalf("BatchObserver got %d single-packet calls", batched.singles)
+	}
+	if batched.batches == 0 {
+		t.Fatal("BatchObserver never received a batch")
+	}
+	if len(batched.ids) != len(plain.ids) {
+		t.Fatalf("batched path saw %d observations, plain saw %d", len(batched.ids), len(plain.ids))
+	}
+	for i := range plain.ids {
+		if batched.ids[i] != plain.ids[i] || batched.times[i] != plain.times[i] {
+			t.Fatalf("batched delivery diverges from per-packet delivery at %d", i)
+		}
+	}
+}
+
+// batchRecorder records observations through the ObserveBatch fast
+// path and counts any stray single-packet deliveries.
+type batchRecorder struct {
+	recorder
+	batches int
+	singles int
+}
+
+func (r *batchRecorder) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
+	r.singles++
+	r.recorder.Observe(pkt, digest, tNS)
+}
+
+func (r *batchRecorder) ObserveBatch(batch []Observation) {
+	r.batches++
+	for i := range batch {
+		r.recorder.Observe(batch[i].Pkt, batch[i].Digest, batch[i].TimeNS)
+	}
+}
+
 func TestReorderingOccursWithinJitter(t *testing.T) {
 	p := Fig1Path(5)
 	// Packets at 100k pkt/s are ~10µs apart; 200µs jitter reorders.

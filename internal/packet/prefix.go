@@ -46,6 +46,24 @@ func (p Prefix) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr[0], p.Addr[1], p.Addr[2], p.Addr[3], p.Bits)
 }
 
+// Compare totally orders prefixes by address, then length: -1, 0 or +1
+// as p sorts before, equal to, or after q. Used to emit receipts in a
+// deterministic order.
+func (p Prefix) Compare(q Prefix) int {
+	pv, qv := p.uint32(), q.uint32()
+	switch {
+	case pv < qv:
+		return -1
+	case pv > qv:
+		return 1
+	case p.Bits < q.Bits:
+		return -1
+	case p.Bits > q.Bits:
+		return 1
+	}
+	return 0
+}
+
 // PathKey identifies a HOP path by its source and destination origin
 // prefixes (the paper's HeaderSpec "includes at least a source and
 // destination origin-prefix pair").
@@ -55,6 +73,14 @@ type PathKey struct {
 
 // String renders "src->dst" in CIDR notation.
 func (k PathKey) String() string { return k.Src.String() + "->" + k.Dst.String() }
+
+// Compare totally orders path keys (source prefix, then destination).
+func (k PathKey) Compare(o PathKey) int {
+	if c := k.Src.Compare(o.Src); c != 0 {
+		return c
+	}
+	return k.Dst.Compare(o.Dst)
+}
 
 // Table performs longest-prefix matching over a set of origin
 // prefixes, standing in for the BGP table a border router would

@@ -46,6 +46,30 @@ func (p PathID) String() string {
 	return fmt.Sprintf("%s prev=%s next=%s maxdiff=%dns", p.Key, p.PrevHOP, p.NextHOP, p.MaxDiffNS)
 }
 
+// Compare totally orders PathIDs: by origin-prefix pair, then previous
+// and next HOP, then MaxDiff. Collectors use it to drain receipts in a
+// deterministic order instead of map-iteration order.
+func (p PathID) Compare(q PathID) int {
+	if c := p.Key.Compare(q.Key); c != 0 {
+		return c
+	}
+	switch {
+	case p.PrevHOP < q.PrevHOP:
+		return -1
+	case p.PrevHOP > q.PrevHOP:
+		return 1
+	case p.NextHOP < q.NextHOP:
+		return -1
+	case p.NextHOP > q.NextHOP:
+		return 1
+	case p.MaxDiffNS < q.MaxDiffNS:
+		return -1
+	case p.MaxDiffNS > q.MaxDiffNS:
+		return 1
+	}
+	return 0
+}
+
 // SampleRecord is one delay-sampled measurement: the packet's digest
 // and the time the reporting HOP observed it.
 type SampleRecord struct {

@@ -106,6 +106,26 @@ func (s *Sampler) Observe(pktID uint64, tNS int64) {
 	}
 }
 
+// ObserveBatch processes a slice of observations (PktID = digest,
+// TimeNS = observation time) in order — the batch hook the sharded
+// collector's per-path runs feed. Semantically identical to calling
+// Observe per record; the common non-marker case (append to the
+// temporary buffer) is inlined so only markers pay the full call.
+func (s *Sampler) ObserveBatch(recs []receipt.SampleRecord) {
+	mu := s.mu
+	for i := range recs {
+		if hashing.Exceeds(recs[i].PktID, mu) {
+			s.Observe(recs[i].PktID, recs[i].TimeNS)
+			continue
+		}
+		s.observed++
+		s.temp = append(s.temp, recs[i])
+		if len(s.temp) > s.tempHighWater {
+			s.tempHighWater = len(s.temp)
+		}
+	}
+}
+
 // Take returns the samples accumulated since the previous Take and
 // resets the accumulator — the processor module's periodic read.
 func (s *Sampler) Take() []receipt.SampleRecord {

@@ -19,6 +19,22 @@
 //     friends)
 //   - signed receipt dissemination over HTTP (internal/dissem)
 //
+// # Concurrency and sharding
+//
+// The collection pipeline is sharded for multi-core throughput. A
+// Collector is one single-threaded shard of a HOP's data plane; a
+// ShardedCollector hash-partitions origin-prefix paths across N such
+// shards, each owning its own path map, sampler and partitioner
+// state, so the per-packet path takes no locks. Observers can receive
+// traffic either packet-at-a-time (Observe) or in arrival-order
+// batches (ObserveBatch, the BatchObserver interface), which
+// amortizes dispatch and classification; the simulator replays each
+// HOP's observations concurrently with every other HOP's, in batches.
+// DeployConfig.Shards selects the parallelism per HOP (0 = GOMAXPROCS,
+// 1 = serial); sharded and serial deployments produce byte-identical
+// receipts for the same traffic, and both drain receipts in
+// deterministic PathID-sorted order.
+//
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	pkts, _ := vpm.GenerateTrace(vpm.TraceConfig{
@@ -97,8 +113,14 @@ func CombineAggregates(rs ...AggReceipt) (AggReceipt, error) {
 
 // Protocol stack.
 type (
-	// Collector is the per-HOP data-plane module.
+	// Collector is the per-HOP data-plane module (one shard's worth).
 	Collector = core.Collector
+	// ShardedCollector hash-partitions paths across N collector
+	// shards for multi-core throughput.
+	ShardedCollector = core.ShardedCollector
+	// PathCollector is the data-plane surface both Collector and
+	// ShardedCollector implement.
+	PathCollector = core.PathCollector
 	// CollectorConfig configures a collector.
 	CollectorConfig = core.CollectorConfig
 	// Processor is the per-HOP control-plane module.
@@ -159,11 +181,22 @@ func ShaveDelays(ingress, egress SampleReceipt, factor float64) SampleReceipt {
 	return core.ShaveDelays(ingress, egress, factor)
 }
 
-// NewCollector builds a standalone collector.
+// NewCollector builds a standalone single-threaded collector.
 func NewCollector(cfg CollectorConfig) (*Collector, error) { return core.NewCollector(cfg) }
 
+// NewShardedCollector builds a standalone sharded collector with
+// cfg.Shards shards (0 = GOMAXPROCS).
+func NewShardedCollector(cfg CollectorConfig) (*ShardedCollector, error) {
+	return core.NewShardedCollector(cfg)
+}
+
+// NewPathCollector builds the collector variant cfg.Shards selects.
+func NewPathCollector(cfg CollectorConfig) (PathCollector, error) {
+	return core.NewPathCollector(cfg)
+}
+
 // NewProcessor attaches a control-plane processor to a collector.
-func NewProcessor(c *Collector) *Processor { return core.NewProcessor(c) }
+func NewProcessor(c PathCollector) *Processor { return core.NewProcessor(c) }
 
 // NewDeployment wires collectors onto every HOP of a path.
 func NewDeployment(p *Path, table *PrefixTable, cfg DeployConfig) (*Deployment, error) {
@@ -183,6 +216,10 @@ type (
 	LinkSpec = netsim.LinkSpec
 	// Observer receives one HOP's packet observations.
 	Observer = netsim.Observer
+	// BatchObserver is the batched extension of Observer.
+	BatchObserver = netsim.BatchObserver
+	// Observation is one packet observation at a HOP.
+	Observation = netsim.Observation
 	// SimResult is a simulation run's ground truth.
 	SimResult = netsim.Result
 	// DomainTruth is one domain's ground truth.
