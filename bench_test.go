@@ -247,6 +247,101 @@ func reportThroughput(b *testing.B, pktsPerIter int) {
 	}
 }
 
+// verifyWorld builds the reduced-scale 16-HOP × 64-path verification
+// scenario once per benchmark.
+func verifyWorld(b *testing.B) (*core.Deployment, []packet.PathKey) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.DurationNS = int64(100e6)
+	dep, keys, err := experiments.VerifyScenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep, keys
+}
+
+// BenchmarkVerifyRebuildSerial is the baseline of the verification
+// acceptance comparison: the pre-store shape, where every path key
+// re-scans the deployment's receipts into a private verifier and then
+// checks its links serially.
+func BenchmarkVerifyRebuildSerial(b *testing.B) {
+	dep, keys := verifyWorld(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var matched int
+		for _, key := range keys {
+			v := dep.NewVerifier(key)
+			vc := dep.VerifierConfig()
+			vc.Workers = 1
+			v.SetConfig(vc)
+			for _, lv := range v.VerifyAllLinks() {
+				matched += lv.MatchedSamples
+			}
+		}
+		if matched == 0 {
+			b.Fatal("no matched samples")
+		}
+	}
+	reportVerifyThroughput(b, len(keys)*len(dep.Layout().Links()))
+}
+
+// BenchmarkVerifyIndexed measures VerifyAllLinks over the shared
+// indexed store at 1/2/4/8 workers on the same scenario. The
+// acceptance bar is ≥ 2× the serial link-check rate at 4 workers on
+// multi-core hardware; on a single-core host the pool must be
+// throughput-neutral.
+func BenchmarkVerifyIndexed(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			dep, keys := verifyWorld(b)
+			store := dep.NewStore()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var matched int
+				for _, key := range keys {
+					v := dep.NewVerifierOn(store, key)
+					vc := dep.VerifierConfig()
+					vc.Workers = workers
+					v.SetConfig(vc)
+					for _, lv := range v.VerifyAllLinks() {
+						matched += lv.MatchedSamples
+					}
+				}
+				if matched == 0 {
+					b.Fatal("no matched samples")
+				}
+			}
+			reportVerifyThroughput(b, len(keys)*len(dep.Layout().Links()))
+		})
+	}
+}
+
+// BenchmarkVerifyStoreIngest measures indexing the whole deployment's
+// receipts into a fresh store — the amortized-once cost the indexed
+// modes pay instead of 64 per-key rebuilds.
+func BenchmarkVerifyStoreIngest(b *testing.B) {
+	dep, _ := verifyWorld(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store := dep.NewStore()
+		if len(store.Keys()) == 0 {
+			b.Fatal("empty store")
+		}
+	}
+}
+
+// reportVerifyThroughput converts per-iteration link checks into the
+// link-checks/s metric the perf trajectory tracks.
+func reportVerifyThroughput(b *testing.B, checksPerIter int) {
+	total := float64(b.N) * float64(checksPerIter)
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(total/secs, "linkchecks/s")
+	}
+}
+
 // BenchmarkVerifiability regenerates the §7.2 verifiability numbers
 // (E7). Reported metric: verification accuracy in ms when the witness
 // samples at 0.1%.

@@ -4,20 +4,24 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
-//	          [-json] [-shards 1,2,4,8]
+//	          [-json] [-shards 1,2,4,8] [-workers 1,2,4,8]
 //
 // The defaults reproduce the paper's scale (100k packets/second for
 // one second per experiment point). Use a smaller -duration for a
 // quick pass.
 //
 // -run throughput measures the collection pipeline (serial per-packet
-// Observe vs the sharded batch pipeline at each -shards count); with
-// -json it emits a machine-readable document (packets/sec, ns/packet,
-// shard count) so the perf trajectory can be tracked across PRs:
+// Observe vs the sharded batch pipeline at each -shards count);
+// -run verify measures the verification pipeline on the 16-HOP ×
+// 64-path scenario (per-key rebuild baseline vs the shared indexed
+// receipt store at each -workers pool size). With -json both emit a
+// machine-readable document so the perf trajectory can be tracked
+// across PRs:
 //
 //	vpm-bench -run throughput -json -o BENCH_throughput.json
+//	vpm-bench -run verify -json -o BENCH_verify.json
 package main
 
 import (
@@ -35,18 +39,23 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput")
+		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify")
 		duration = flag.Duration("duration", time.Second, "trace duration per experiment point")
 		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput experiment only)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput and verify experiments only)")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -run throughput")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated verifier worker-pool sizes for -run verify")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
 
-	shardCounts, err := parseShards(*shards)
+	shardCounts, err := parseCounts(*shards)
+	if err != nil {
+		fatal(err)
+	}
+	workerCounts, err := parseCounts(*workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,8 +66,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput"))
+	if *jsonOut && *run != "throughput" && *run != "verify" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput or -run verify"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -170,13 +179,38 @@ func main() {
 			fmt.Fprint(w, experiments.ThroughputRender(rows, *markdown))
 		}
 	}
+	if wanted("verify") {
+		ran = true
+		rows, err := experiments.Verify(cfg, workerCounts)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                  `json:"experiment"`
+				Seed       uint64                  `json:"seed"`
+				RatePPS    float64                 `json:"rate_pps"`
+				DurationNS int64                   `json:"duration_ns"`
+				Rows       []experiments.VerifyRow `json:"rows"`
+			}{"verify", cfg.Seed, cfg.RatePPS, cfg.DurationNS, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Verification pipeline — per-key rebuild vs shared indexed store")
+			fmt.Fprint(w, experiments.VerifyRender(rows, *markdown))
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify)", *run))
 	}
 }
 
-// parseShards parses the -shards list ("1,2,4,8").
-func parseShards(s string) ([]int, error) {
+// parseCounts parses a comma-separated positive-integer list
+// ("1,2,4,8"), shared by -shards and -workers.
+func parseCounts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -185,7 +219,7 @@ func parseShards(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad shard count %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, n)
 	}

@@ -2,8 +2,10 @@
 //
 // Every HOP publishes its receipts as ed25519-signed bundles on a
 // local HTTP server (the paper's "administrative web-site"
-// realization). A verifier fetches the bundles, authenticates each
-// signature against a key registry, rejects a tampered server, and
+// realization). A verifier streams the bundles — each one is
+// signature-checked as it comes off the wire and ingested into the
+// verifier's indexed receipt store immediately, so no interval's
+// receipts ever sit fully buffered — rejects a tampered server, and
 // then runs the standard Figure 1 verification on the authenticated
 // receipts.
 //
@@ -76,35 +78,28 @@ func main() {
 		fmt.Printf("HOP%-2d serving signed receipts at %s\n", hop, ln.Addr())
 	}
 
-	// 3. The verifier fetches and authenticates everything.
+	// 3. The verifier streams and authenticates everything: FetchEach
+	// hands over one verified bundle at a time, and Ingest files its
+	// receipts into the verifier's indexed store on the spot. The
+	// verifier is restricted to the foreground path key, so any other
+	// traffic in the bundles would be ingested but never read.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	client := &vpm.BundleClient{Registry: registry}
-	v := vpm.NewVerifier(dep.Layout())
+	v := vpm.NewVerifierFor(dep.Layout(), key)
 	v.SetConfig(dep.VerifierConfig())
 	fetched := 0
 	for hop, url := range urls {
-		bundles, err := client.Fetch(ctx, url, hop, 0)
-		if err != nil {
-			log.Fatalf("fetching from HOP%d: %v", hop, err)
-		}
-		for _, b := range bundles {
-			for _, s := range b.Samples {
-				if s.Path.Key == key {
-					v.AddSampleReceipt(hop, s)
-				}
-			}
-			var aggs []vpm.AggReceipt
-			for _, a := range b.Aggs {
-				if a.Path.Key == key {
-					aggs = append(aggs, a)
-				}
-			}
-			v.AddAggReceipts(hop, aggs)
+		err := client.FetchEach(ctx, url, hop, 0, func(b *vpm.ReceiptBundle) error {
+			v.Ingest(b)
 			fetched++
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("streaming from HOP%d: %v", hop, err)
 		}
 	}
-	fmt.Printf("\nfetched and authenticated %d bundles from %d HOPs\n", fetched, len(urls))
+	fmt.Printf("\nstreamed and authenticated %d bundles from %d HOPs\n", fetched, len(urls))
 
 	// 4. A forged server is rejected outright.
 	var evilSeed [32]byte

@@ -201,14 +201,26 @@ func (d *Deployment) Layout() Layout {
 }
 
 // NewVerifier builds a verifier over the deployment's receipts for
-// one origin-prefix path key, ingesting every HOP's combined sample
-// receipt and aggregate receipts for that key.
+// one origin-prefix path key, indexing only that key's receipts into
+// a private store (each call re-scans the deployment's receipts). To
+// verify many path keys, build the store once with NewStore and share
+// it across per-key verifiers via NewVerifierOn instead.
 func (d *Deployment) NewVerifier(key packet.PathKey) *Verifier {
-	v := NewVerifier(d.Layout())
-	v.SetConfig(VerifierConfig{
-		MarkerThreshold:  d.markerThreshold,
-		SampleThresholds: d.sampleThresholds,
-	})
+	return d.NewVerifierOn(d.newStore(&key), key)
+}
+
+// NewStore indexes every processor's retained receipts — all HOPs,
+// all traffic keys — into one ReceiptStore. Build it once after
+// Finalize; every per-key verifier then resolves its receipts with
+// index lookups instead of re-scanning the deployment.
+func (d *Deployment) NewStore() *ReceiptStore {
+	return d.newStore(nil)
+}
+
+// newStore indexes the deployment's receipts, all of them (only ==
+// nil) or one traffic key's worth.
+func (d *Deployment) newStore(only *packet.PathKey) *ReceiptStore {
+	s := NewReceiptStore()
 	// Deterministic iteration order for reproducibility.
 	hops := make([]int, 0, len(d.Processors))
 	for id := range d.Processors {
@@ -218,19 +230,34 @@ func (d *Deployment) NewVerifier(key packet.PathKey) *Verifier {
 	for _, hi := range hops {
 		id := receipt.HOPID(hi)
 		proc := d.Processors[id]
-		for _, s := range proc.CombinedSamples() {
-			if s.Path.Key == key {
-				v.AddSampleReceipt(id, s)
+		for _, r := range proc.CombinedSamples() {
+			if only == nil || r.Path.Key == *only {
+				s.AddSamples(id, r)
 			}
 		}
-		var aggs []receipt.AggReceipt
-		for _, a := range proc.Aggs {
-			if a.Path.Key == key {
-				aggs = append(aggs, a)
+		aggs := proc.Aggs
+		if only != nil {
+			aggs = nil
+			for _, a := range proc.Aggs {
+				if a.Path.Key == *only {
+					aggs = append(aggs, a)
+				}
 			}
 		}
-		v.AddAggReceipts(id, aggs)
+		s.AddAggs(id, aggs)
 	}
+	return s
+}
+
+// NewVerifierOn builds a verifier for one origin-prefix path key over
+// a shared receipt store (see NewStore), configured with the
+// deployment's constants.
+func (d *Deployment) NewVerifierOn(store *ReceiptStore, key packet.PathKey) *Verifier {
+	v := NewVerifierOn(d.Layout(), store, key)
+	v.SetConfig(VerifierConfig{
+		MarkerThreshold:  d.markerThreshold,
+		SampleThresholds: d.sampleThresholds,
+	})
 	return v
 }
 

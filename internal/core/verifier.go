@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"vpm/internal/aggregation"
+	"vpm/internal/dissem"
 	"vpm/internal/hashing"
+	"vpm/internal/packet"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
 	"vpm/internal/stats"
@@ -49,6 +51,31 @@ func (l Layout) DomainSegmentByName(name string) (Segment, bool) {
 	return Segment{}, false
 }
 
+// Links returns the layout's inter-domain link segments in path
+// order. The slice index is the link's LinkID — the ordinal
+// VerifyAllLinks stamps on verdicts and sorts them by.
+func (l Layout) Links() []Segment {
+	var out []Segment
+	for _, s := range l.Segments {
+		if s.Kind == LinkSegment {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DomainSegments returns the layout's intra-domain segments in path
+// order — the units DomainReports estimates in parallel.
+func (l Layout) DomainSegments() []Segment {
+	var out []Segment
+	for _, s := range l.Segments {
+		if s.Kind == DomainSegment {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // VerifierConfig carries the deployment constants a verifier needs to
 // reason about sampling expectations across HOPs with different rates.
 type VerifierConfig struct {
@@ -69,6 +96,11 @@ type VerifierConfig struct {
 	// links.
 	MissingToleranceFraction float64
 	MissingToleranceFloor    int
+	// Workers sizes the worker pool VerifyAllLinks and DomainReports
+	// spread independent link and domain checks over: 0 uses
+	// GOMAXPROCS, 1 runs serially. Verdicts are byte-identical at any
+	// pool size; only wall-clock time changes.
+	Workers int
 }
 
 // Verifier is a receipt collector for one HOP path: it ingests
@@ -77,70 +109,140 @@ type VerifierConfig struct {
 // verifiability argument requires collecting from all HOPs on the
 // path — a verifier that sees only a segment cannot expose collusions
 // (§3.1).
+//
+// Receipts live in an indexed ReceiptStore keyed by (HOP, traffic
+// key), so one store can be shared by many per-path verifiers (see
+// Deployment.NewStore) and ingested concurrently from several
+// dissemination fetches. Receipts arrive either pre-decoded
+// (AddSampleReceipt, AddAggReceipts) or as signed dissemination
+// bundles consumed incrementally (Ingest, IngestSigned,
+// IngestBundles) — no need to hold a path's worth of receipts in
+// memory before verification starts.
+//
+// A verifier built by NewVerifierFor (or Deployment.NewVerifier) is
+// restricted to one traffic key: queries resolve (HOP, key) indexes
+// directly, so receipts for other paths in the same store or bundle
+// stream are invisible to it. An unrestricted verifier (NewVerifier)
+// answers queries from everything its HOPs reported, merging traffic
+// keys if several were ingested.
 type Verifier struct {
 	layout Layout
 	cfg    VerifierConfig
 
-	samples map[receipt.HOPID]map[uint64]int64 // hop -> pktID -> time
-	ordered map[receipt.HOPID][]receipt.SampleRecord
-	pathIDs map[receipt.HOPID]receipt.PathID
-	aggs    map[receipt.HOPID][]receipt.AggReceipt
+	store      *ReceiptStore
+	key        packet.PathKey
+	restricted bool
 }
 
-// NewVerifier builds a verifier for the given path layout.
+// NewVerifier builds an unrestricted verifier for the given path
+// layout over a fresh private store.
 func NewVerifier(layout Layout) *Verifier {
-	return &Verifier{
-		layout:  layout,
-		samples: make(map[receipt.HOPID]map[uint64]int64),
-		ordered: make(map[receipt.HOPID][]receipt.SampleRecord),
-		pathIDs: make(map[receipt.HOPID]receipt.PathID),
-		aggs:    make(map[receipt.HOPID][]receipt.AggReceipt),
-	}
+	return &Verifier{layout: layout, store: NewReceiptStore()}
+}
+
+// NewVerifierFor builds a verifier restricted to one traffic key over
+// a fresh private store: receipts for other origin-prefix pairs may be
+// ingested (e.g. from multi-path dissemination bundles) but never leak
+// into this verifier's answers.
+func NewVerifierFor(layout Layout, key packet.PathKey) *Verifier {
+	v := NewVerifier(layout)
+	v.key, v.restricted = key, true
+	return v
+}
+
+// NewVerifierOn builds a key-restricted verifier over a shared
+// ReceiptStore. Ingest the store once, then verify every path key it
+// holds without re-scanning receipts per key.
+func NewVerifierOn(layout Layout, store *ReceiptStore, key packet.PathKey) *Verifier {
+	return &Verifier{layout: layout, store: store, key: key, restricted: true}
 }
 
 // SetConfig installs the deployment constants (see VerifierConfig).
 func (v *Verifier) SetConfig(cfg VerifierConfig) { v.cfg = cfg }
 
+// Store exposes the verifier's receipt store, e.g. to share it with
+// further verifiers or to ingest into it directly.
+func (v *Verifier) Store() *ReceiptStore { return v.store }
+
+// indexFor resolves the index answering queries about hop.
+func (v *Verifier) indexFor(hop receipt.HOPID) *pathIndex {
+	if v.restricted {
+		return v.store.lookup(hop, v.key)
+	}
+	return v.store.hopView(hop)
+}
+
 // AddSampleReceipt ingests one HOP's sample receipt.
 func (v *Verifier) AddSampleReceipt(hop receipt.HOPID, r receipt.SampleReceipt) {
-	m, ok := v.samples[hop]
-	if !ok {
-		m = make(map[uint64]int64, len(r.Samples))
-		v.samples[hop] = m
-	}
-	for _, s := range r.Samples {
-		m[s.PktID] = s.TimeNS
-	}
-	v.ordered[hop] = append(v.ordered[hop], r.Samples...)
-	v.pathIDs[hop] = r.Path
+	v.store.AddSamples(hop, r)
 }
 
 // AddAggReceipts ingests one HOP's aggregate receipts, in stream
 // order.
 func (v *Verifier) AddAggReceipts(hop receipt.HOPID, rs []receipt.AggReceipt) {
-	v.aggs[hop] = append(v.aggs[hop], rs...)
-	if len(rs) > 0 {
-		v.pathIDs[hop] = rs[0].Path
+	v.store.AddAggs(hop, rs)
+}
+
+// Ingest consumes one decoded dissemination bundle: every sample and
+// aggregate receipt in it is filed under the bundle's origin HOP.
+// Bundles may arrive in any order and may interleave traffic keys; a
+// restricted verifier simply never reads the foreign indexes. Safe to
+// call concurrently (one goroutine per dissemination fetch).
+func (v *Verifier) Ingest(b *dissem.Bundle) {
+	for _, s := range b.Samples {
+		v.store.AddSamples(b.Origin, s)
 	}
+	v.store.AddAggs(b.Origin, b.Aggs)
+}
+
+// IngestSigned authenticates one signed bundle against the key
+// registered for its claimed origin, then ingests it. Unauthenticated
+// receipts never enter the store.
+func (v *Verifier) IngestSigned(reg dissem.Registry, sb dissem.SignedBundle) error {
+	b, err := dissem.VerifyFromRegistry(reg, sb)
+	if err != nil {
+		return err
+	}
+	v.Ingest(b)
+	return nil
+}
+
+// IngestBundles drains a stream of signed bundles, authenticating and
+// ingesting each as it arrives — the streaming counterpart of
+// collecting every receipt up front. On a verification failure it
+// keeps draining the channel (so producers do not block) but ingests
+// nothing further, and returns the first error.
+func (v *Verifier) IngestBundles(reg dissem.Registry, bundles <-chan dissem.SignedBundle) error {
+	var firstErr error
+	for sb := range bundles {
+		if firstErr != nil {
+			continue
+		}
+		if err := v.IngestSigned(reg, sb); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // SampleCount returns the number of distinct sampled packets ingested
 // for a HOP.
-func (v *Verifier) SampleCount(hop receipt.HOPID) int { return len(v.samples[hop]) }
+func (v *Verifier) SampleCount(hop receipt.HOPID) int { return v.indexFor(hop).sampleCount() }
 
 // DelaysBetween returns the per-packet delays (nanoseconds, as
 // float64 for the statistics layer) of the packets sampled by both
 // HOPs: Rb.Time − Ra.Time per common PktID (§4, Receipt-based
-// Statistics).
+// Statistics), in b's deterministic first-arrival packet order.
 func (v *Verifier) DelaysBetween(a, b receipt.HOPID) []float64 {
-	sa, sb := v.samples[a], v.samples[b]
+	_, sa := v.indexFor(a).snapshot()
+	ub, sb := v.indexFor(b).snapshot()
 	if len(sa) == 0 || len(sb) == 0 {
 		return nil
 	}
 	out := make([]float64, 0, len(sb))
-	for id, tb := range sb {
+	for _, id := range ub {
 		if ta, ok := sa[id]; ok {
-			out = append(out, float64(tb-ta))
+			out = append(out, float64(sb[id]-ta))
 		}
 	}
 	return out
@@ -174,14 +276,15 @@ func (v *Verifier) CheckMarkerBias(a, b receipt.HOPID) (MarkerBiasReport, error)
 	if mu == 0 {
 		return rep, fmt.Errorf("core: marker threshold not configured")
 	}
-	sa, sb := v.samples[a], v.samples[b]
+	_, sa := v.indexFor(a).snapshot()
+	ub, sb := v.indexFor(b).snapshot()
 	var markers, others []float64
-	for id, tb := range sb {
+	for _, id := range ub {
 		ta, ok := sa[id]
 		if !ok {
 			continue
 		}
-		d := float64(tb - ta)
+		d := float64(sb[id] - ta)
 		if hashing.Exceeds(id, mu) {
 			markers = append(markers, d)
 		} else {
@@ -212,12 +315,14 @@ func (v *Verifier) CheckMarkerBias(a, b receipt.HOPID) (MarkerBiasReport, error)
 // The §7.2 verifiability analysis is built on this: the witness's
 // sampling rate caps the quality of verification.
 func (v *Verifier) CorroboratedDelays(a, b, witness receipt.HOPID) []float64 {
-	sa, sb, sw := v.samples[a], v.samples[b], v.samples[witness]
+	_, sa := v.indexFor(a).snapshot()
+	_, sb := v.indexFor(b).snapshot()
+	uw, sw := v.indexFor(witness).snapshot()
 	if len(sa) == 0 || len(sb) == 0 || len(sw) == 0 {
 		return nil
 	}
 	out := make([]float64, 0, len(sw))
-	for id := range sw {
+	for _, id := range uw {
 		ta, okA := sa[id]
 		tb, okB := sb[id]
 		if okA && okB {
@@ -260,7 +365,8 @@ func (r LossReport) Rate() float64 {
 // LossBetween computes the loss between two HOPs from their aggregate
 // receipts via the §6 join + patch-up pipeline.
 func (v *Verifier) LossBetween(a, b receipt.HOPID) (LossReport, error) {
-	ra, rb := v.aggs[a], v.aggs[b]
+	ra := v.indexFor(a).aggReceipts()
+	rb := v.indexFor(b).aggReceipts()
 	if len(ra) == 0 || len(rb) == 0 {
 		return LossReport{}, fmt.Errorf("core: missing aggregate receipts between %v and %v", a, b)
 	}
@@ -276,6 +382,9 @@ func (v *Verifier) LossBetween(a, b receipt.HOPID) (LossReport, error) {
 
 // LinkVerdict is the outcome of checking one inter-domain link.
 type LinkVerdict struct {
+	// LinkID is the link's ordinal along the path (see Layout.Links);
+	// VerifyAllLinks returns verdicts sorted by it.
+	LinkID   int
 	Up, Down receipt.HOPID
 	// Violations found (empty = consistent).
 	Violations []receipt.Inconsistency
@@ -324,6 +433,8 @@ func (v *Verifier) missingTolerance(matched int) int {
 // inter-domain link (§4): MaxDiff agreement, the timestamp bound on
 // commonly sampled packets, missing-record checks under the subset
 // property, and aggregate count equality over the joined aggregates.
+// Packets are visited in each HOP's first-arrival order, so the
+// verdict — including the order of its violations — is deterministic.
 //
 // Missing-record semantics: a packet the upstream HOP claims to have
 // delivered is expected in the downstream receipt exactly when the
@@ -335,8 +446,9 @@ func (v *Verifier) missingTolerance(matched int) int {
 // stands exposed to the neighbor it implicated (§3.1).
 func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
 	lv := LinkVerdict{Up: up, Down: down}
-	pu, hasU := v.pathIDs[up]
-	pd, hasD := v.pathIDs[down]
+	iu, id := v.indexFor(up), v.indexFor(down)
+	pu, hasU := iu.path()
+	pd, hasD := id.path()
 	if hasU && hasD && pu.MaxDiffNS != pd.MaxDiffNS {
 		lv.Violations = append(lv.Violations, receipt.Inconsistency{
 			Kind:   receipt.MaxDiffMismatch,
@@ -345,15 +457,17 @@ func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
 	}
 	maxDiff := pu.MaxDiffNS
 
-	su, sd := v.samples[up], v.samples[down]
+	uUniq, su := iu.snapshot()
+	dUniq, sd := id.snapshot()
 	var missingDown, missingUp []receipt.Inconsistency
-	for id, tu := range su {
-		td, ok := sd[id]
+	for _, pid := range uUniq {
+		tu := su[pid]
+		td, ok := sd[pid]
 		if !ok {
-			if v.expectedSampled(up, down, id) {
+			if v.expectedSampled(iu, down, pid) {
 				missingDown = append(missingDown, receipt.Inconsistency{
 					Kind:  receipt.MissingDownstream,
-					PktID: id,
+					PktID: pid,
 					Detail: fmt.Sprintf("delivered by %v, unreported by %v",
 						up, down),
 				})
@@ -364,17 +478,17 @@ func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
 		if delta := td - tu; delta > maxDiff {
 			lv.Violations = append(lv.Violations, receipt.Inconsistency{
 				Kind:   receipt.DelayBound,
-				PktID:  id,
+				PktID:  pid,
 				Detail: fmt.Sprintf("link delta %dns exceeds MaxDiff %dns", delta, maxDiff),
 			})
 		}
 	}
-	for id := range sd {
-		if _, ok := su[id]; !ok {
-			if v.expectedSampled(down, up, id) {
+	for _, pid := range dUniq {
+		if _, ok := su[pid]; !ok {
+			if v.expectedSampled(id, up, pid) {
 				missingUp = append(missingUp, receipt.Inconsistency{
 					Kind:  receipt.MissingUpstream,
-					PktID: id,
+					PktID: pid,
 					Detail: fmt.Sprintf("reported received by %v, never reported delivered by %v",
 						down, up),
 				})
@@ -391,7 +505,7 @@ func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
 	}
 
 	// Aggregate counts across the link.
-	if ra, rb := v.aggs[up], v.aggs[down]; len(ra) > 0 && len(rb) > 0 {
+	if ra, rb := iu.aggReceipts(), id.aggReceipts(); len(ra) > 0 && len(rb) > 0 {
 		pairs := aggregation.JoinAligned(ra, rb)
 		for _, p := range pairs {
 			lv.Violations = append(lv.Violations, receipt.CheckAggPair(p.A, p.B)...)
@@ -401,15 +515,16 @@ func (v *Verifier) CheckLink(up, down receipt.HOPID) LinkVerdict {
 }
 
 // expectedSampled reports whether HOP `other` must have sampled packet
-// id, given that HOP `reporter` sampled it. It re-derives the Algorithm
-// 1 decision: find the marker that keyed id in reporter's sample
-// timeline (the first marker at or after id's observation — markers
-// are the samples whose digest exceeds the system-wide µ) and test
-// SampleFcn(id, marker) against other's advertised σ. Markers
-// themselves are always expected. Without deployment constants the
-// verifier is strict: everything is expected (correct when all HOPs
-// share one rate).
-func (v *Verifier) expectedSampled(reporter, other receipt.HOPID, id uint64) bool {
+// id, given that the HOP behind reporter's index ri sampled it. It
+// re-derives the Algorithm 1 decision: find the marker that keyed id
+// in the reporter's sample timeline (the first marker at or after id's
+// observation — markers are the samples whose digest exceeds the
+// system-wide µ, binary-searched on the index's cached marker
+// timeline) and test SampleFcn(id, marker) against other's advertised
+// σ. Markers themselves are always expected. Without deployment
+// constants the verifier is strict: everything is expected (correct
+// when all HOPs share one rate).
+func (v *Verifier) expectedSampled(ri *pathIndex, other receipt.HOPID, id uint64) bool {
 	mu := v.cfg.MarkerThreshold
 	if mu == 0 {
 		return true
@@ -421,22 +536,12 @@ func (v *Verifier) expectedSampled(reporter, other receipt.HOPID, id uint64) boo
 	if !ok {
 		return true
 	}
-	t, ok := v.samples[reporter][id]
+	t, ok := ri.timeOf(id)
 	if !ok {
 		return true
 	}
-	// Find the earliest marker at or after t in reporter's samples.
-	var marker uint64
-	var markerT int64 = -1
-	for _, s := range v.ordered[reporter] {
-		if s.TimeNS < t || !hashing.Exceeds(s.PktID, mu) {
-			continue
-		}
-		if markerT < 0 || s.TimeNS < markerT {
-			marker, markerT = s.PktID, s.TimeNS
-		}
-	}
-	if markerT < 0 {
+	marker, ok := markerAtOrAfter(ri.markerTimeline(mu), t)
+	if !ok {
 		// No marker followed: the reporter could not have sampled id
 		// through Algorithm 1 either; don't expect it elsewhere.
 		return false
@@ -444,14 +549,22 @@ func (v *Verifier) expectedSampled(reporter, other receipt.HOPID, id uint64) boo
 	return hashing.Exceeds(hashing.SampleFcn(id, marker), sigma)
 }
 
-// VerifyAllLinks checks every inter-domain link on the path.
+// VerifyAllLinks checks every inter-domain link on the path, spreading
+// the independent link checks over VerifierConfig.Workers goroutines
+// (0 = GOMAXPROCS). Link pairs share no mutable state, so the verdicts
+// are byte-identical at any pool size; they return LinkID-sorted (path
+// order) regardless of which worker finished first.
 func (v *Verifier) VerifyAllLinks() []LinkVerdict {
-	var out []LinkVerdict
-	for _, s := range v.layout.Segments {
-		if s.Kind == LinkSegment {
-			out = append(out, v.CheckLink(s.Up, s.Down))
-		}
+	links := v.layout.Links()
+	if len(links) == 0 {
+		return nil
 	}
+	out := make([]LinkVerdict, len(links))
+	runParallel(resolveWorkers(v.cfg.Workers), len(links), func(i int) {
+		lv := v.CheckLink(links[i].Up, links[i].Down)
+		lv.LinkID = i
+		out[i] = lv
+	})
 	return out
 }
 
@@ -472,7 +585,36 @@ func (v *Verifier) DomainReport(name string, qs []float64, confidence float64) (
 	if !ok {
 		return DomainReport{}, fmt.Errorf("core: no domain %q in layout", name)
 	}
-	rep := DomainReport{Name: name, Ingress: seg.Up, Egress: seg.Down}
+	return v.domainReport(seg, qs, confidence)
+}
+
+// DomainReports estimates every transit domain on the path, in path
+// order, spreading the independent per-domain estimates over
+// VerifierConfig.Workers goroutines (0 = GOMAXPROCS). Like
+// VerifyAllLinks, the reports are byte-identical at any pool size.
+// The first per-domain error (by path order) is returned alongside
+// the reports that succeeded.
+func (v *Verifier) DomainReports(qs []float64, confidence float64) ([]DomainReport, error) {
+	segs := v.layout.DomainSegments()
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	out := make([]DomainReport, len(segs))
+	errs := make([]error, len(segs))
+	runParallel(resolveWorkers(v.cfg.Workers), len(segs), func(i int) {
+		out[i], errs[i] = v.domainReport(segs[i], qs, confidence)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// domainReport estimates one domain segment's loss and delay.
+func (v *Verifier) domainReport(seg Segment, qs []float64, confidence float64) (DomainReport, error) {
+	rep := DomainReport{Name: seg.Name, Ingress: seg.Up, Egress: seg.Down}
 	loss, err := v.LossBetween(seg.Up, seg.Down)
 	if err == nil {
 		rep.Loss = loss

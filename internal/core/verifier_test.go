@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vpm/internal/dissem"
+	"vpm/internal/hashing"
+	"vpm/internal/lossmodel"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+	"vpm/internal/trace"
+)
+
+// buildMultiPathScenario runs the verify-pipeline acceptance scenario:
+// a 16-HOP path (9 domains) carrying 64 origin-prefix paths, densely
+// sampled. With lossyLink, one mid-path inter-domain link drops ~30%
+// of traffic, so link checks surface real violations (missing
+// downstream records past the noise tolerance, aggregate count
+// mismatches).
+func buildMultiPathScenario(t testing.TB, lossyLink bool) (*Deployment, []packet.PathKey) {
+	t.Helper()
+	const nPaths = 64
+	paths := make([]trace.PathSpec, nPaths)
+	keys := make([]packet.PathKey, nPaths)
+	for i := range paths {
+		p := trace.DefaultPath(100000.0 / nPaths)
+		p.SrcPrefix = packet.MakePrefix(10, byte(i), 0, 0, 16)
+		p.DstPrefix = packet.MakePrefix(192, byte(i), 0, 0, 16)
+		paths[i] = p
+		keys[i] = packet.PathKey{Src: p.SrcPrefix, Dst: p.DstPrefix}
+	}
+	tc := trace.Config{Seed: 21, DurationNS: int64(150e6), Paths: paths}
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := netsim.LinearPath(23, 9)
+	if n := path.NumHOPs(); n != 16 {
+		t.Fatalf("scenario has %d HOPs, want 16", n)
+	}
+	if lossyLink {
+		ge, err := lossmodel.FromTargetLoss(0.30, 4, stats.NewRNG(29))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path.Links[3].Loss = ge
+	}
+	dc := DefaultDeployConfig()
+	dc.Default.SampleRate = 0.3
+	dc.Default.AggRate = 0.001
+	dep, err := NewDeployment(path, tc.Table(), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := path.Run(pkts, dep.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	dep.Finalize()
+	return dep, keys
+}
+
+// configured returns a verifier over the shared store with the given
+// worker-pool size.
+func configured(dep *Deployment, store *ReceiptStore, key packet.PathKey, workers int) *Verifier {
+	v := dep.NewVerifierOn(store, key)
+	cfg := dep.VerifierConfig()
+	cfg.Workers = workers
+	v.SetConfig(cfg)
+	return v
+}
+
+// TestParallelVerifyEquivalence is the tentpole acceptance test:
+// VerifyAllLinks and DomainReports on the 16-HOP, 64-path scenario
+// must produce verdicts byte-identical to the serial verifier — for
+// the shared indexed store at any pool size, and for the legacy
+// per-key rebuilt store.
+func TestParallelVerifyEquivalence(t *testing.T) {
+	dep, keys := buildMultiPathScenario(t, true)
+	store := dep.NewStore()
+	var totalViolations, totalMatched int
+	for _, key := range keys {
+		serial := configured(dep, store, key, 1)
+		parallel := configured(dep, store, key, 4)
+		rebuilt := dep.NewVerifier(key) // private store, default pool
+
+		sv := serial.VerifyAllLinks()
+		pv := parallel.VerifyAllLinks()
+		rv := rebuilt.VerifyAllLinks()
+		sr, pr := fmt.Sprintf("%+v", sv), fmt.Sprintf("%+v", pv)
+		if sr != pr {
+			t.Fatalf("key %v: parallel verdicts differ from serial:\nserial:   %s\nparallel: %s", key, sr, pr)
+		}
+		if rr := fmt.Sprintf("%+v", rv); rr != sr {
+			t.Fatalf("key %v: rebuilt-store verdicts differ from shared-store:\nshared:  %s\nrebuilt: %s", key, sr, rr)
+		}
+		if !reflect.DeepEqual(sv, pv) {
+			t.Fatalf("key %v: DeepEqual mismatch between serial and parallel verdicts", key)
+		}
+		for i, lv := range sv {
+			if lv.LinkID != i {
+				t.Fatalf("key %v: verdict %d has LinkID %d; want path order", key, i, lv.LinkID)
+			}
+			totalViolations += len(lv.Violations)
+			totalMatched += lv.MatchedSamples
+		}
+
+		sd, serr := serial.DomainReports(nil, 0.95)
+		pd, perr := parallel.DomainReports(nil, 0.95)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("key %v: error mismatch: %v vs %v", key, serr, perr)
+		}
+		if ds, dp := fmt.Sprintf("%+v", sd), fmt.Sprintf("%+v", pd); ds != dp {
+			t.Fatalf("key %v: parallel domain reports differ from serial", key)
+		}
+	}
+	// The scenario must be non-trivial: dense matching everywhere and
+	// real violations on the faulty link.
+	if totalMatched == 0 {
+		t.Fatal("no matched samples anywhere — scenario degenerate")
+	}
+	if totalViolations == 0 {
+		t.Fatal("lossy link produced no violations — scenario degenerate")
+	}
+}
+
+// TestVerifyAllLinksDetectsFaultyLink pins the faulty link down to the
+// right LinkID on the multi-path scenario.
+func TestVerifyAllLinksDetectsFaultyLink(t *testing.T) {
+	dep, keys := buildMultiPathScenario(t, true)
+	store := dep.NewStore()
+	// Link 3 connects domain 3's egress (HOP 7) to domain 4's ingress
+	// (HOP 8).
+	badUp, badDown := receipt.HOPID(7), receipt.HOPID(8)
+	flagged := 0
+	for _, key := range keys {
+		for _, lv := range configured(dep, store, key, 0).VerifyAllLinks() {
+			if lv.Consistent() {
+				continue
+			}
+			if lv.Up != badUp || lv.Down != badDown {
+				t.Fatalf("key %v: violations on healthy link %v-%v: %v", key, lv.Up, lv.Down, lv.Violations[0])
+			}
+			flagged++
+		}
+	}
+	if flagged < len(keys)/2 {
+		t.Fatalf("faulty link flagged on only %d/%d keys", flagged, len(keys))
+	}
+}
+
+// TestStoreKeyedIsolation checks that a restricted verifier never
+// reads another path's receipts out of the shared store.
+func TestStoreKeyedIsolation(t *testing.T) {
+	dep, keys := buildMultiPathScenario(t, false)
+	store := dep.NewStore()
+	if got := len(store.Keys()); got != len(keys) {
+		t.Fatalf("store holds %d traffic keys, want %d", got, len(keys))
+	}
+	shared := configured(dep, store, keys[0], 1)
+	private := dep.NewVerifier(keys[0])
+	for _, hop := range dep.Layout().HOPs {
+		if s, p := shared.SampleCount(hop), private.SampleCount(hop); s != p {
+			t.Fatalf("HOP %v: shared store sees %d samples, private rebuild %d", hop, s, p)
+		}
+	}
+}
+
+// TestStreamingIngestMatchesBatch feeds the deployment's receipts
+// through the signed-bundle streaming path — concurrently, from four
+// producer channels — and requires verdicts byte-identical to the
+// batch-built verifier.
+func TestStreamingIngestMatchesBatch(t *testing.T) {
+	dep, keys := buildMultiPathScenario(t, true)
+
+	// Sign one bundle per HOP.
+	reg := dissem.Registry{}
+	var bundles []dissem.SignedBundle
+	for hop, proc := range dep.Processors {
+		var seed [32]byte
+		seed[0] = byte(hop)
+		signer := dissem.NewSigner(seed)
+		reg[hop] = signer.Public()
+		bundles = append(bundles, signer.Sign(&dissem.Bundle{
+			Origin:  hop,
+			Samples: proc.CombinedSamples(),
+			Aggs:    proc.Aggs,
+		}))
+	}
+
+	v := NewVerifierFor(dep.Layout(), keys[7])
+	v.SetConfig(dep.VerifierConfig())
+	const producers = 4
+	chans := make([]chan dissem.SignedBundle, producers)
+	for i := range chans {
+		chans[i] = make(chan dissem.SignedBundle)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, producers)
+	for i := range chans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = v.IngestBundles(reg, chans[i])
+		}(i)
+	}
+	for i, sb := range bundles {
+		chans[i%producers] <- sb
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := fmt.Sprintf("%+v", dep.NewVerifier(keys[7]).VerifyAllLinks())
+	got := fmt.Sprintf("%+v", v.VerifyAllLinks())
+	if got != want {
+		t.Fatalf("streamed-ingest verdicts differ from batch:\nbatch:  %s\nstream: %s", want, got)
+	}
+}
+
+// TestIngestRejectsBadBundles checks the streaming path's signature
+// discipline: forged or unknown-origin bundles never enter the store.
+func TestIngestRejectsBadBundles(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 1
+	legit := dissem.NewSigner(seed)
+	seed[0] = 2
+	evil := dissem.NewSigner(seed)
+	reg := dissem.Registry{4: legit.Public()}
+
+	path := receipt.PathKeyOf(
+		packet.MakePrefix(10, 1, 0, 0, 16),
+		packet.MakePrefix(172, 16, 0, 0, 16), 3, 5, 2_000_000)
+	bundle := &dissem.Bundle{Origin: 4, Samples: []receipt.SampleReceipt{{
+		Path:    path,
+		Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 2}},
+	}}}
+
+	v := NewVerifier(Layout{})
+	if err := v.IngestSigned(reg, evil.Sign(bundle)); err == nil {
+		t.Error("forged bundle accepted")
+	}
+	unknown := *bundle
+	unknown.Origin = 9
+	if err := v.IngestSigned(reg, legit.Sign(&unknown)); err == nil {
+		t.Error("unknown-origin bundle accepted")
+	}
+	if got := v.SampleCount(4); got != 0 {
+		t.Fatalf("rejected bundles left %d samples in the store", got)
+	}
+
+	// A bad bundle mid-stream drains the channel and reports the error.
+	ch := make(chan dissem.SignedBundle, 3)
+	ch <- legit.Sign(bundle)
+	ch <- evil.Sign(bundle)
+	ch <- legit.Sign(bundle)
+	close(ch)
+	if err := v.IngestBundles(reg, ch); err == nil {
+		t.Error("stream with forged bundle reported no error")
+	}
+	if got := v.SampleCount(4); got != 1 {
+		t.Fatalf("stream ingested %d distinct samples, want 1 (pre-error bundle only)", got)
+	}
+}
+
+// TestMergedViewTracksLaterIngest guards the unrestricted multi-key
+// path: once a HOP has receipts for several traffic keys, further
+// ingest into an existing key must invalidate the cached merged view,
+// not leave queries answering from a stale snapshot.
+func TestMergedViewTracksLaterIngest(t *testing.T) {
+	keyA := receipt.PathKeyOf(
+		packet.MakePrefix(10, 1, 0, 0, 16),
+		packet.MakePrefix(172, 16, 0, 0, 16), 3, 5, 2_000_000)
+	keyB := receipt.PathKeyOf(
+		packet.MakePrefix(10, 2, 0, 0, 16),
+		packet.MakePrefix(172, 16, 0, 0, 16), 3, 5, 2_000_000)
+	v := NewVerifier(Layout{})
+	v.AddSampleReceipt(4, receipt.SampleReceipt{Path: keyA,
+		Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 10}}})
+	v.AddSampleReceipt(4, receipt.SampleReceipt{Path: keyB,
+		Samples: []receipt.SampleRecord{{PktID: 2, TimeNS: 20}}})
+	if got := v.SampleCount(4); got != 2 {
+		t.Fatalf("after two keys: %d samples, want 2", got)
+	}
+	// Ingest into an already-existing index after the merge was built.
+	v.AddSampleReceipt(4, receipt.SampleReceipt{Path: keyA,
+		Samples: []receipt.SampleRecord{{PktID: 3, TimeNS: 30}}})
+	if got := v.SampleCount(4); got != 3 {
+		t.Fatalf("after late ingest: %d samples, want 3 (stale merged view?)", got)
+	}
+	v.AddAggReceipts(4, []receipt.AggReceipt{{Path: keyA, PktCnt: 7}})
+	v.AddSampleReceipt(5, receipt.SampleReceipt{Path: keyA,
+		Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 15}, {PktID: 3, TimeNS: 35}}})
+	if got := len(v.DelaysBetween(4, 5)); got != 2 {
+		t.Fatalf("%d matched delays across late-ingested samples, want 2", got)
+	}
+}
+
+// TestMissingToleranceDefaultsAndOverrides covers the §5.3 noise
+// tolerance arithmetic directly.
+func TestMissingToleranceDefaultsAndOverrides(t *testing.T) {
+	v := NewVerifier(Layout{})
+	// Zero config: floor 10, 5% fraction.
+	for _, tc := range []struct{ matched, want int }{
+		{0, 10}, {1, 10}, {199, 10}, {200, 10}, {201, 10}, {400, 20}, {10000, 500},
+	} {
+		if got := v.missingTolerance(tc.matched); got != tc.want {
+			t.Errorf("default tolerance(%d) = %d, want %d", tc.matched, got, tc.want)
+		}
+	}
+	// Explicit config.
+	v.SetConfig(VerifierConfig{MissingToleranceFraction: 0.5, MissingToleranceFloor: 2})
+	if got := v.missingTolerance(10); got != 5 {
+		t.Errorf("tolerance(10) at 50%%/floor2 = %d, want 5", got)
+	}
+	if got := v.missingTolerance(2); got != 2 {
+		t.Errorf("tolerance(2) at 50%%/floor2 = %d, want floor 2", got)
+	}
+	// Negative values fall back to the defaults.
+	v.SetConfig(VerifierConfig{MissingToleranceFraction: -1, MissingToleranceFloor: -1})
+	if got := v.missingTolerance(10000); got != 500 {
+		t.Errorf("negative config tolerance(10000) = %d, want default 500", got)
+	}
+}
+
+// markerSplit draws n uniform packet digests and partitions them into
+// markers and others under mu (digests, not sequence numbers: the
+// marker test compares a digest against µ directly).
+func markerSplit(n int, mu uint64) (markers, others []uint64) {
+	rng := stats.NewRNG(97)
+	for i := 0; i < n; i++ {
+		id := rng.Uint64()
+		if hashing.Exceeds(id, mu) {
+			markers = append(markers, id)
+		} else {
+			others = append(others, id)
+		}
+	}
+	return markers, others
+}
+
+// biasWorld hand-builds two HOPs whose marker samples cross with delay
+// markerDelay and whose σ-keyed samples cross with otherDelay.
+func biasWorld(t *testing.T, mu uint64, markerDelay, otherDelay int64) *Verifier {
+	t.Helper()
+	markers, others := markerSplit(4000, mu)
+	if len(markers) < 10 || len(others) < 10 {
+		t.Fatalf("degenerate split: %d markers, %d others", len(markers), len(others))
+	}
+	var up, down []receipt.SampleRecord
+	tNS := int64(0)
+	add := func(id uint64, delay int64) {
+		up = append(up, receipt.SampleRecord{PktID: id, TimeNS: tNS})
+		down = append(down, receipt.SampleRecord{PktID: id, TimeNS: tNS + delay})
+		tNS += 1000
+	}
+	for _, id := range markers {
+		add(id, markerDelay)
+	}
+	for _, id := range others {
+		add(id, otherDelay)
+	}
+	v := NewVerifier(Layout{})
+	v.SetConfig(VerifierConfig{MarkerThreshold: mu})
+	v.AddSampleReceipt(1, receipt.SampleReceipt{Samples: up})
+	v.AddSampleReceipt(2, receipt.SampleReceipt{Samples: down})
+	return v
+}
+
+// TestCheckMarkerBiasEdgeCases covers the error paths: missing
+// configuration, empty sample sets, and too-thin populations.
+func TestCheckMarkerBiasEdgeCases(t *testing.T) {
+	// Unconfigured µ.
+	v := NewVerifier(Layout{})
+	if _, err := v.CheckMarkerBias(1, 2); err == nil {
+		t.Error("unconfigured marker threshold accepted")
+	}
+	// Configured but empty: no receipts at all.
+	mu := hashing.ThresholdForRate(0.5)
+	v.SetConfig(VerifierConfig{MarkerThreshold: mu})
+	rep, err := v.CheckMarkerBias(1, 2)
+	if err == nil {
+		t.Error("empty sample sets accepted")
+	}
+	if rep.MarkerN != 0 || rep.OtherN != 0 {
+		t.Errorf("empty report has counts %d/%d", rep.MarkerN, rep.OtherN)
+	}
+	// One thin HOP: a single shared sample is still too few.
+	v.AddSampleReceipt(1, receipt.SampleReceipt{Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 0}}})
+	v.AddSampleReceipt(2, receipt.SampleReceipt{Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 5}}})
+	if _, err := v.CheckMarkerBias(1, 2); err == nil {
+		t.Error("thin populations accepted")
+	}
+}
+
+// TestCheckMarkerBiasSingleHOP compares a HOP against itself: every
+// delay is zero, which must read as unbiased.
+func TestCheckMarkerBiasSingleHOP(t *testing.T) {
+	mu := hashing.ThresholdForRate(0.5)
+	markers, others := markerSplit(200, mu)
+	var recs []receipt.SampleRecord
+	for i, id := range append(markers, others...) {
+		recs = append(recs, receipt.SampleRecord{PktID: id, TimeNS: int64(i) * 1000})
+	}
+	v := NewVerifier(Layout{})
+	v.SetConfig(VerifierConfig{MarkerThreshold: mu})
+	v.AddSampleReceipt(3, receipt.SampleReceipt{Samples: recs})
+	rep, err := v.CheckMarkerBias(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspicious {
+		t.Errorf("self-comparison flagged as biased: %+v", rep)
+	}
+	if rep.MarkerP90MS != 0 || rep.OtherP90MS != 0 {
+		t.Errorf("self-comparison has non-zero delays: %+v", rep)
+	}
+}
+
+// TestCheckMarkerBiasDetectsPreferentialMarkers pins the detector's
+// two sides: preferential marker treatment trips it, honest uniform
+// treatment does not.
+func TestCheckMarkerBiasDetectsPreferentialMarkers(t *testing.T) {
+	mu := hashing.ThresholdForRate(0.5)
+	biased := biasWorld(t, mu, 1_000, 5_000_000)
+	rep, err := biased.CheckMarkerBias(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Suspicious {
+		t.Errorf("fast markers not flagged: %+v", rep)
+	}
+	honest := biasWorld(t, mu, 5_000_000, 5_000_000)
+	rep, err = honest.CheckMarkerBias(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspicious {
+		t.Errorf("uniform treatment flagged: %+v", rep)
+	}
+}
+
+// TestDelayQuantilesZeroConfidence checks that a zero (or one)
+// confidence is rejected at the estimation layer rather than
+// producing degenerate bounds.
+func TestDelayQuantilesZeroConfidence(t *testing.T) {
+	v := NewVerifier(Layout{})
+	recs := make([]receipt.SampleRecord, 50)
+	for i := range recs {
+		recs[i] = receipt.SampleRecord{PktID: uint64(i + 1), TimeNS: int64(i) * 1000}
+	}
+	v.AddSampleReceipt(1, receipt.SampleReceipt{Samples: recs})
+	v.AddSampleReceipt(2, receipt.SampleReceipt{Samples: recs})
+	if _, err := v.DelayQuantiles(1, 2, []float64{0.5}, 0); err == nil {
+		t.Error("zero confidence accepted")
+	}
+	if _, err := v.DelayQuantiles(1, 2, []float64{0.5}, 1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+	if _, err := v.DelayQuantiles(1, 2, []float64{0.5}, 0.95); err != nil {
+		t.Errorf("valid confidence rejected: %v", err)
+	}
+}

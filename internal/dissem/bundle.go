@@ -144,5 +144,27 @@ func Verify(pub ed25519.PublicKey, origin receipt.HOPID, sb SignedBundle) (*Bund
 	return b, nil
 }
 
+// VerifyFromRegistry authenticates a signed bundle against the key
+// registered for its claimed origin HOP: the payload is decoded first
+// to learn the origin, then the signature is checked against that
+// origin's registered key. A bundle claiming a HOP with no registered
+// key is rejected. This is the entry point for streaming ingest,
+// where bundles from many HOPs arrive interleaved and the expected
+// origin is not known per call.
+func VerifyFromRegistry(reg Registry, sb SignedBundle) (*Bundle, error) {
+	b, err := DecodeBundle(sb.Payload)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := reg[b.Origin]
+	if !ok {
+		return nil, fmt.Errorf("dissem: no registered key for claimed origin %v", b.Origin)
+	}
+	if !ed25519.Verify(pub, sb.Payload, sb.Sig) {
+		return nil, fmt.Errorf("%w: bundle claiming %v", ErrBadSignature, b.Origin)
+	}
+	return b, nil
+}
+
 // Registry maps HOPs to their registered verification keys.
 type Registry map[receipt.HOPID]ed25519.PublicKey

@@ -205,6 +205,110 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 }
 
+func TestVerifyFromRegistry(t *testing.T) {
+	signer := NewSigner(seedOf(20))
+	reg := Registry{4: signer.Public()}
+	sb := signer.Sign(sampleBundle(4, 3))
+	b, err := VerifyFromRegistry(reg, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Origin != 4 || b.Seq != 3 {
+		t.Fatalf("verified bundle mismatch: %+v", b)
+	}
+
+	// Unregistered claimed origin.
+	if _, err := VerifyFromRegistry(Registry{}, sb); err == nil {
+		t.Error("bundle from unregistered origin accepted")
+	}
+	// Signed by a key other than the claimed origin's.
+	evil := NewSigner(seedOf(21))
+	if _, err := VerifyFromRegistry(reg, evil.Sign(sampleBundle(4, 0))); err == nil {
+		t.Error("bundle signed by wrong key accepted")
+	}
+	// Corrupt payload.
+	bad := signer.Sign(sampleBundle(4, 0))
+	bad.Payload = bad.Payload[:10]
+	if _, err := VerifyFromRegistry(reg, bad); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}
+
+func TestFetchEachStreams(t *testing.T) {
+	signer := NewSigner(seedOf(22))
+	srv := NewServer(4, signer)
+	b := sampleBundle(4, 0)
+	for i := 0; i < 5; i++ {
+		srv.Publish(b.Samples, b.Aggs)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &Client{Registry: Registry{4: signer.Public()}}
+
+	var seqs []uint64
+	err := client.FetchEach(context.Background(), ts.URL, 4, 1, func(b *Bundle) error {
+		seqs = append(seqs, b.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 || seqs[0] != 1 || seqs[3] != 4 {
+		t.Fatalf("streamed seqs %v, want 1..4", seqs)
+	}
+
+	// A callback error aborts the stream.
+	calls := 0
+	sentinel := context.Canceled
+	err = client.FetchEach(context.Background(), ts.URL, 4, 0, func(*Bundle) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || calls != 2 {
+		t.Fatalf("abort: err=%v calls=%d", err, calls)
+	}
+
+	// Past the end: the server encodes a JSON null; zero callbacks.
+	err = client.FetchEach(context.Background(), ts.URL, 4, 99, func(*Bundle) error {
+		t.Error("callback on empty stream")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectEach(t *testing.T) {
+	signer := NewSigner(seedOf(23))
+	srv := NewServer(4, signer)
+	b := sampleBundle(4, 0)
+	srv.Publish(b.Samples, nil)
+	srv.Publish(nil, b.Aggs)
+	bus := NewBus()
+	bus.Attach(srv)
+	reg := Registry{4: signer.Public()}
+
+	var seqs []uint64
+	if err := bus.CollectEach(reg, 4, func(b *Bundle) error {
+		seqs = append(seqs, b.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 1 {
+		t.Fatalf("collected seqs %v", seqs)
+	}
+	if err := bus.CollectEach(reg, 9, func(*Bundle) error { return nil }); err == nil {
+		t.Error("missing HOP accepted")
+	}
+	if err := bus.CollectEach(Registry{}, 4, func(*Bundle) error { return nil }); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
 func TestBus(t *testing.T) {
 	signer := NewSigner(seedOf(12))
 	srv := NewServer(4, signer)

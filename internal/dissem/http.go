@@ -89,9 +89,29 @@ type Client struct {
 // origin, and returns the decoded bundles. Any verification failure
 // aborts the fetch: unauthenticated receipts are never returned.
 func (c *Client) Fetch(ctx context.Context, baseURL string, origin receipt.HOPID, since uint64) ([]*Bundle, error) {
+	var out []*Bundle
+	err := c.FetchEach(ctx, baseURL, origin, since, func(b *Bundle) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchEach is the streaming form of Fetch: the server's JSON response
+// is decoded incrementally, each bundle is signature-verified as it
+// arrives, and fn is invoked per authenticated bundle — the whole
+// interval's receipts never sit in memory at once. A verification
+// failure or an fn error aborts the stream and is returned; bundles
+// already passed to fn stay consumed (ingest is incremental by
+// design — pair FetchEach with a Verifier whose answers are only read
+// after a successful drain).
+func (c *Client) FetchEach(ctx context.Context, baseURL string, origin receipt.HOPID, since uint64, fn func(*Bundle) error) error {
 	pub, ok := c.Registry[origin]
 	if !ok {
-		return nil, fmt.Errorf("dissem: no registered key for %v", origin)
+		return fmt.Errorf("dissem: no registered key for %v", origin)
 	}
 	hc := c.HTTP
 	if hc == nil {
@@ -100,29 +120,44 @@ func (c *Client) Fetch(ctx context.Context, baseURL string, origin receipt.HOPID
 	url := fmt.Sprintf("%s?since=%d", baseURL, since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("dissem: fetching %v: %w", origin, err)
+		return fmt.Errorf("dissem: fetching %v: %w", origin, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dissem: %v returned %s", origin, resp.Status)
+		return fmt.Errorf("dissem: %v returned %s", origin, resp.Status)
 	}
-	var signed []SignedBundle
-	if err := json.NewDecoder(resp.Body).Decode(&signed); err != nil {
-		return nil, fmt.Errorf("dissem: decoding response from %v: %w", origin, err)
+	dec := json.NewDecoder(resp.Body)
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("dissem: decoding response from %v: %w", origin, err)
 	}
-	out := make([]*Bundle, 0, len(signed))
-	for i, sb := range signed {
+	if tok == nil {
+		return nil // JSON null: no bundles
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("dissem: response from %v is not a bundle array", origin)
+	}
+	for i := 0; dec.More(); i++ {
+		var sb SignedBundle
+		if err := dec.Decode(&sb); err != nil {
+			return fmt.Errorf("dissem: decoding bundle %d from %v: %w", i, origin, err)
+		}
 		b, err := Verify(pub, origin, sb)
 		if err != nil {
-			return nil, fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
+			return fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
 		}
-		out = append(out, b)
+		if err := fn(b); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	if _, err := dec.Token(); err != nil {
+		return fmt.Errorf("dissem: decoding response from %v: %w", origin, err)
+	}
+	return nil
 }
 
 // Bus is an in-memory alternative to the HTTP transport for
@@ -147,25 +182,47 @@ func (b *Bus) Attach(s *Server) {
 
 // Collect returns all verified bundles from the given HOP.
 func (b *Bus) Collect(reg Registry, origin receipt.HOPID) ([]*Bundle, error) {
+	out := make([]*Bundle, 0)
+	err := b.CollectEach(reg, origin, func(bundle *Bundle) error {
+		out = append(out, bundle)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectEach is the streaming form of Collect: each of the HOP's
+// bundles is verified and handed to fn one at a time, without
+// materializing the full interval. fn runs outside the bus and server
+// locks, so it may ingest into a verifier (or publish elsewhere)
+// freely; a verification failure or fn error aborts the stream.
+func (b *Bus) CollectEach(reg Registry, origin receipt.HOPID, fn func(*Bundle) error) error {
 	b.mu.RLock()
 	s, ok := b.servers[origin]
 	b.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("dissem: HOP %v not on bus", origin)
+		return fmt.Errorf("dissem: HOP %v not on bus", origin)
 	}
 	pub, ok := reg[origin]
 	if !ok {
-		return nil, fmt.Errorf("dissem: no registered key for %v", origin)
+		return fmt.Errorf("dissem: no registered key for %v", origin)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Bundle, 0, len(s.bundles))
-	for i, sb := range s.bundles {
+	for i := 0; ; i++ {
+		s.mu.RLock()
+		if i >= len(s.bundles) {
+			s.mu.RUnlock()
+			return nil
+		}
+		sb := s.bundles[i]
+		s.mu.RUnlock()
 		bundle, err := Verify(pub, origin, sb)
 		if err != nil {
-			return nil, fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
+			return fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
 		}
-		out = append(out, bundle)
+		if err := fn(bundle); err != nil {
+			return err
+		}
 	}
-	return out, nil
 }

@@ -1,6 +1,10 @@
 package netsim
 
-import "vpm/internal/receipt"
+import (
+	"fmt"
+
+	"vpm/internal/receipt"
+)
 
 // This file builds the paper's running example (Figure 1): domain S
 // sends to domain D via transit domains L, X and N; HOPs are numbered
@@ -33,6 +37,40 @@ const (
 func Fig1Path(seed uint64) *Path {
 	p := &Path{Seed: seed}
 	for _, name := range Fig1DomainNames {
+		p.Domains = append(p.Domains, DomainSpec{
+			Name:            name,
+			BaseDelayNS:     DefaultBaseDelayNS,
+			ReorderJitterNS: DefaultReorderJitterNS,
+		})
+	}
+	for i := 0; i < len(p.Domains)-1; i++ {
+		p.Links = append(p.Links, LinkSpec{
+			DelayNS:   DefaultLinkDelayNS,
+			JitterNS:  DefaultLinkJitterNS,
+			MaxDiffNS: DefaultMaxDiffNS,
+		})
+	}
+	return p
+}
+
+// LinearPath builds an nDomains-long path with the same healthy
+// defaults as Fig1Path: stub source S, transit domains T1..T(n-2),
+// stub destination D. nDomains = 5 reproduces Figure 1's shape (8
+// HOPs); larger values scale the verification workload — e.g. 9
+// domains give the 16-HOP scenario the verify benchmarks use.
+func LinearPath(seed uint64, nDomains int) *Path {
+	if nDomains < 2 {
+		nDomains = 2
+	}
+	p := &Path{Seed: seed}
+	for i := 0; i < nDomains; i++ {
+		name := fmt.Sprintf("T%d", i)
+		switch i {
+		case 0:
+			name = "S"
+		case nDomains - 1:
+			name = "D"
+		}
 		p.Domains = append(p.Domains, DomainSpec{
 			Name:            name,
 			BaseDelayNS:     DefaultBaseDelayNS,

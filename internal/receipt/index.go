@@ -1,0 +1,39 @@
+package receipt
+
+import "vpm/internal/packet"
+
+// StoreKey identifies one receipt stream inside an indexed receipt
+// store: the reporting HOP and the traffic (origin-prefix pair) the
+// receipts describe. A verifier that collects receipts for many HOP
+// paths at once files every receipt under its StoreKey, so matching
+// the two ends of an inter-domain link is a single index lookup
+// instead of a scan over everything the HOP ever reported.
+type StoreKey struct {
+	HOP HOPID
+	Key packet.PathKey
+}
+
+// KeyOf derives the store key a receipt with the given PathID files
+// under when reported by hop. Only the traffic key participates: the
+// PathID's link fields (PrevHOP, NextHOP, MaxDiff) describe the
+// reporting HOP's position, not the traffic, and receipts from one HOP
+// for one traffic stream must land in one index regardless of them.
+func KeyOf(hop HOPID, p PathID) StoreKey {
+	return StoreKey{HOP: hop, Key: p.Key}
+}
+
+// Compare totally orders store keys: by HOP, then by traffic key.
+// Indexed stores iterate in this order so multi-path verification is
+// deterministic.
+func (k StoreKey) Compare(o StoreKey) int {
+	switch {
+	case k.HOP < o.HOP:
+		return -1
+	case k.HOP > o.HOP:
+		return 1
+	}
+	return k.Key.Compare(o.Key)
+}
+
+// String renders the store key.
+func (k StoreKey) String() string { return k.HOP.String() + " " + k.Key.String() }

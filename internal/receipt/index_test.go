@@ -1,0 +1,48 @@
+package receipt
+
+import (
+	"sort"
+	"testing"
+
+	"vpm/internal/packet"
+)
+
+func TestKeyOfIgnoresLinkFields(t *testing.T) {
+	src := packet.MakePrefix(10, 1, 0, 0, 16)
+	dst := packet.MakePrefix(172, 16, 0, 0, 16)
+	a := PathKeyOf(src, dst, 4, 5, 2_000_000)
+	b := PathKeyOf(src, dst, 7, 8, 9_000_000)
+	if KeyOf(3, a) != KeyOf(3, b) {
+		t.Error("store key depends on PathID link fields; must depend on traffic only")
+	}
+	if KeyOf(3, a) == KeyOf(4, a) {
+		t.Error("store key ignores the reporting HOP")
+	}
+	other := PathKeyOf(dst, src, 4, 5, 2_000_000)
+	if KeyOf(3, a) == KeyOf(3, other) {
+		t.Error("store key ignores the traffic key")
+	}
+}
+
+func TestStoreKeyCompare(t *testing.T) {
+	p1 := packet.PathKey{Src: packet.MakePrefix(10, 1, 0, 0, 16), Dst: packet.MakePrefix(172, 16, 0, 0, 16)}
+	p2 := packet.PathKey{Src: packet.MakePrefix(10, 2, 0, 0, 16), Dst: packet.MakePrefix(172, 16, 0, 0, 16)}
+	keys := []StoreKey{
+		{HOP: 2, Key: p2},
+		{HOP: 2, Key: p1},
+		{HOP: 1, Key: p2},
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	want := []StoreKey{{HOP: 1, Key: p2}, {HOP: 2, Key: p1}, {HOP: 2, Key: p2}}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+	if keys[0].Compare(keys[0]) != 0 {
+		t.Error("equal keys must compare 0")
+	}
+	if keys[0].String() == "" {
+		t.Error("empty String rendering")
+	}
+}

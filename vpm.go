@@ -35,6 +35,26 @@
 // receipts for the same traffic, and both drain receipts in
 // deterministic PathID-sorted order.
 //
+// # Verification
+//
+// The verification side scales the same way. Receipts are ingested
+// into a ReceiptStore — an indexed, concurrent store keyed by (HOP,
+// traffic key) — either up front (Deployment.NewStore,
+// Verifier.AddSampleReceipt) or incrementally from signed
+// dissemination bundles (Verifier.Ingest, IngestSigned, and
+// IngestBundles; BundleClient.FetchEach streams bundles off the wire
+// one at a time, authenticating each signature before it is
+// ingested). One store serves many verifiers: build it once, then
+// attach a key-restricted verifier per origin-prefix path
+// (Deployment.NewVerifierOn, NewVerifierOn) without re-scanning
+// receipts per path. Verifier.VerifyAllLinks and
+// Verifier.DomainReports fan their independent link and domain checks
+// over a worker pool (VerifierConfig.Workers: 0 = GOMAXPROCS, 1 =
+// serial); verdicts are byte-identical at any pool size and return in
+// deterministic LinkID (path) order, with missing-record checks
+// answered by a binary search over each index's cached marker
+// timeline instead of a scan over all of a HOP's samples.
+//
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	pkts, _ := vpm.GenerateTrace(vpm.TraceConfig{
@@ -134,11 +154,20 @@ type (
 	// Verifier estimates and verifies per-domain performance from
 	// receipts.
 	Verifier = core.Verifier
+	// ReceiptStore is the indexed, concurrent receipt store behind
+	// verifiers; one store can serve many per-path verifiers.
+	ReceiptStore = core.ReceiptStore
 	// DomainReport is a verifier's estimate for one domain.
 	DomainReport = core.DomainReport
 	// LinkVerdict is the consistency verdict for one inter-domain
 	// link.
 	LinkVerdict = core.LinkVerdict
+	// MarkerBiasReport is the outcome of the marker-preference check.
+	MarkerBiasReport = core.MarkerBiasReport
+	// Segment is one adjacency (link or domain crossing) of a Layout.
+	Segment = core.Segment
+	// SegmentKind distinguishes link segments from domain segments.
+	SegmentKind = core.SegmentKind
 	// LossReport is the aggregate-based loss computation.
 	LossReport = core.LossReport
 	// SamplingConfig parameterizes Algorithm 1.
@@ -152,9 +181,34 @@ type (
 	VerifierConfig = core.VerifierConfig
 )
 
+// Segment kinds (see core.SegmentKind).
+const (
+	// LinkSegment is an inter-domain link — where consistency is
+	// checked.
+	LinkSegment = core.LinkSegment
+	// DomainSegment is an intra-domain crossing — where performance
+	// is estimated.
+	DomainSegment = core.DomainSegment
+)
+
 // NewVerifier builds a verifier over a path layout for hand-fed
 // receipts; Deployment.NewVerifier is the usual entry point.
 func NewVerifier(layout Layout) *Verifier { return core.NewVerifier(layout) }
+
+// NewVerifierFor builds a verifier restricted to one origin-prefix
+// path key: receipts for other paths (e.g. in multi-path
+// dissemination bundles) are ingested but never read back.
+func NewVerifierFor(layout Layout, key PathKey) *Verifier { return core.NewVerifierFor(layout, key) }
+
+// NewVerifierOn builds a key-restricted verifier over a shared
+// ReceiptStore; Deployment.NewVerifierOn is the usual entry point.
+func NewVerifierOn(layout Layout, store *ReceiptStore, key PathKey) *Verifier {
+	return core.NewVerifierOn(layout, store, key)
+}
+
+// NewReceiptStore returns an empty indexed receipt store, to be shared
+// across per-path verifiers via NewVerifierOn.
+func NewReceiptStore() *ReceiptStore { return core.NewReceiptStore() }
 
 // FabricateDelivery is the blame-shift lie (threat-model tooling): a
 // domain claims it delivered traffic it dropped. See
@@ -281,6 +335,9 @@ func EstimateQuantile(delaysNS []float64, q, confidence float64) (QuantileEstima
 type (
 	// ReceiptBundle is one signed reporting interval.
 	ReceiptBundle = dissem.Bundle
+	// SignedReceiptBundle is a bundle encoding plus its signature —
+	// the unit of the streaming ingest path (Verifier.IngestBundles).
+	SignedReceiptBundle = dissem.SignedBundle
 	// BundleSigner signs bundles with a HOP's ed25519 key.
 	BundleSigner = dissem.Signer
 	// BundleServer publishes signed bundles over HTTP.

@@ -135,6 +135,79 @@ func TestPublicAPIAdversary(t *testing.T) {
 	}
 }
 
+// TestPublicAPIStoreAndStreaming pins the scaled verification
+// surface: the shared ReceiptStore, key-restricted verifiers, the
+// parallel worker pool, and signed-bundle streaming ingest.
+func TestPublicAPIStoreAndStreaming(t *testing.T) {
+	traceCfg := vpm.TraceConfig{
+		Seed:       131,
+		DurationNS: int64(200e6),
+		Paths:      []vpm.TracePathSpec{vpm.DefaultTracePath(100000)},
+	}
+	pkts, err := vpm.GenerateTrace(traceCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := vpm.PathKey{Src: traceCfg.Paths[0].SrcPrefix, Dst: traceCfg.Paths[0].DstPrefix}
+	path := vpm.Fig1Path(137)
+	dep, err := vpm.NewDeployment(path, traceCfg.Table(), vpm.DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := path.Run(pkts, dep.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	dep.Finalize()
+
+	// Shared store + parallel pool must reproduce the private-store
+	// serial verdicts exactly.
+	baseline := dep.NewVerifier(key).VerifyAllLinks()
+	store := dep.NewStore()
+	v := dep.NewVerifierOn(store, key)
+	cfg := dep.VerifierConfig()
+	cfg.Workers = 4
+	v.SetConfig(cfg)
+	parallel := v.VerifyAllLinks()
+	if len(parallel) != len(baseline) {
+		t.Fatalf("parallel produced %d verdicts, baseline %d", len(parallel), len(baseline))
+	}
+	for i := range parallel {
+		if parallel[i].String() != baseline[i].String() || parallel[i].LinkID != i {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, parallel[i], baseline[i])
+		}
+	}
+	reports, err := v.DomainReports(vpm.DefaultQuantiles, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 { // L, X, N
+		t.Fatalf("%d domain reports, want 3", len(reports))
+	}
+
+	// Streaming ingest of signed bundles must match batch ingest.
+	reg := vpm.KeyRegistry{}
+	ch := make(chan vpm.SignedReceiptBundle, len(dep.Processors))
+	for hop, proc := range dep.Processors {
+		var seed [32]byte
+		seed[0] = byte(hop)
+		signer := vpm.NewBundleSigner(seed)
+		reg[hop] = signer.Public()
+		ch <- signer.Sign(&vpm.ReceiptBundle{Origin: hop, Samples: proc.CombinedSamples(), Aggs: proc.Aggs})
+	}
+	close(ch)
+	vs := vpm.NewVerifierFor(dep.Layout(), key)
+	vs.SetConfig(dep.VerifierConfig())
+	if err := vs.IngestBundles(reg, ch); err != nil {
+		t.Fatal(err)
+	}
+	streamed := vs.VerifyAllLinks()
+	for i := range streamed {
+		if streamed[i].String() != baseline[i].String() {
+			t.Fatalf("streamed verdict %d diverged: %v vs %v", i, streamed[i], baseline[i])
+		}
+	}
+}
+
 // TestPublicAPIReceipts pins receipt construction and combination.
 func TestPublicAPIReceipts(t *testing.T) {
 	p := vpm.PathID{Key: vpm.PathKey{
