@@ -39,14 +39,16 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify")
-		duration = flag.Duration("duration", time.Second, "trace duration per experiment point")
+		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs")
+		duration = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
 		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput and verify experiments only)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput, verify and epochs experiments only)")
 		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -run throughput")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated verifier worker-pool sizes for -run verify")
+		epochs   = flag.Int("epochs", 8, "epochs to rotate through for -run epochs")
+		retain   = flag.String("retention", "2,4", "comma-separated retention windows for -run epochs")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
@@ -59,6 +61,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	retentions, err := parseCounts(*retain)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Config{
 		Seed:       *seed,
@@ -66,8 +72,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput or -run verify"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify or epochs"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -203,8 +209,33 @@ func main() {
 			fmt.Fprint(w, experiments.VerifyRender(rows, *markdown))
 		}
 	}
+	if wanted("epochs") {
+		ran = true
+		rows, err := experiments.Epochs(cfg, *epochs, retentions)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                  `json:"experiment"`
+				Seed       uint64                  `json:"seed"`
+				RatePPS    float64                 `json:"rate_pps"`
+				IntervalNS int64                   `json:"interval_ns"`
+				Epochs     int                     `json:"epochs"`
+				Rows       []experiments.EpochsRow `json:"rows"`
+			}{"epochs", cfg.Seed, cfg.RatePPS, cfg.DurationNS, *epochs, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Continuous operation — batch vs rotating epochs")
+			fmt.Fprint(w, experiments.EpochsRender(rows, *markdown))
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs)", *run))
 	}
 }
 

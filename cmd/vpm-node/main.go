@@ -1,0 +1,149 @@
+// Command vpm-node runs the whole VPM pipeline continuously: the Fig1
+// workload is simulated epoch by epoch, every HOP seals each interval's
+// receipts and publishes them as ed25519-signed epoch-tagged bundles,
+// and a rolling verifier ingests the bundles into a windowed store,
+// verifies each epoch as soon as every HOP has sealed it (concurrently
+// with ingest of the next), and evicts verified epochs older than the
+// retention window. One line is emitted per verified epoch; a summary
+// (sustained epochs/s, steady-state heap, eviction counts) is printed
+// on clean shutdown.
+//
+// Usage:
+//
+//	vpm-node [-epochs 8] [-interval 250ms] [-rate 50000] [-seed 1]
+//	         [-retention 2] [-shards 1] [-workers 1] [-json] [-quiet]
+//
+// SIGINT stops cleanly at the next epoch boundary. The process exits 0
+// iff every started epoch was verified and shut down cleanly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"vpm/internal/core"
+	"vpm/internal/experiments"
+)
+
+func main() {
+	var (
+		epochs    = flag.Int("epochs", 8, "number of epochs to run")
+		interval  = flag.Duration("interval", 250*time.Millisecond, "epoch length (simulated time)")
+		rate      = flag.Float64("rate", 50000, "foreground packet rate (packets/second)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		retention = flag.Int("retention", 2, "verified epochs kept before eviction")
+		shards    = flag.Int("shards", 1, "collector shards per HOP (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 1, "verifier worker-pool size (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit a JSON summary instead of text")
+		quiet     = flag.Bool("quiet", false, "suppress per-epoch lines")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, RatePPS: *rate, DurationNS: interval.Nanoseconds()}
+	ec := core.EpochConfig{
+		IntervalNS: interval.Nanoseconds(),
+		Retention:  *retention,
+		Workers:    *workers,
+		Shards:     *shards,
+	}
+	if err := ec.Validate(); err != nil {
+		fatal(err)
+	}
+
+	// SIGINT: finish the epoch in flight, verify it, summarize, exit 0.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vpm-node: interrupt — stopping at the next epoch boundary")
+		close(stop)
+	}()
+
+	onEpoch := func(rep core.EpochReport, ws core.WindowStats) {
+		if *quiet || *jsonOut {
+			return
+		}
+		fmt.Printf("epoch %3d: keys=%d matched=%d violations=%d window=%d segs (%d gced)",
+			rep.Epoch, len(rep.Keys), rep.MatchedSamples(), rep.Violations(), ws.Segments, ws.Evicted)
+		for _, k := range rep.Keys {
+			for _, dom := range k.Domains {
+				if len(dom.DelayEstimates) > 0 {
+					fmt.Printf("  %s: loss=%.3f%% p50=%.2fms",
+						dom.Name, dom.Loss.Rate()*100, dom.DelayEstimates[0].Point/1e6)
+					break // one headline domain per line keeps it readable
+				}
+			}
+			break
+		}
+		fmt.Println()
+	}
+
+	start := time.Now()
+	res, err := experiments.RunContinuous(cfg, ec, *epochs, onEpoch, stop)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	if len(res.Reports) != res.EpochsSealed {
+		// Every sealed epoch — each simulated interval plus the
+		// terminal spill — must have been verified before shutdown.
+		fatal(fmt.Errorf("sealed %d epochs but verified %d", res.EpochsSealed, len(res.Reports)))
+	}
+
+	if *jsonOut {
+		// Same schema as vpm-bench -run epochs rows (BENCH_*.json), so
+		// the two outputs cannot drift apart.
+		row := experiments.EpochsRow{
+			Mode:           "continuous",
+			Epochs:         res.EpochsRun,
+			IntervalMS:     float64(interval.Nanoseconds()) / 1e6,
+			Retention:      *retention,
+			Packets:        res.Packets,
+			SampleReceipts: res.SampleReceipts,
+			AggReceipts:    res.AggReceipts,
+			MatchedSamples: res.MatchedSamples,
+			Violations:     res.Violations,
+			WallMS:         float64(wall.Nanoseconds()) / 1e6,
+			EpochsPerSec:   float64(res.EpochsRun) / wall.Seconds(),
+			HeapMB:         float64(res.HeapAllocBytes) / (1 << 20),
+			SegmentsHeld:   res.Window.Segments,
+			SegmentsGCed:   res.Window.Evicted,
+		}
+		var sum, max time.Duration
+		for _, d := range res.EpochWall {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if n := len(res.EpochWall); n > 0 {
+			row.MeanEpochMS = float64(sum.Nanoseconds()) / float64(n) / 1e6
+			row.MaxEpochMS = float64(max.Nanoseconds()) / 1e6
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(row); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("vpm-node: %d epochs (%v each) over %d packets in %v — %.1f epochs/s sustained\n",
+		res.EpochsRun, *interval, res.Packets, wall.Round(time.Millisecond),
+		float64(res.EpochsRun)/wall.Seconds())
+	fmt.Printf("vpm-node: %d sample + %d aggregate receipts, %d matched samples, %d violations\n",
+		res.SampleReceipts, res.AggReceipts, res.MatchedSamples, res.Violations)
+	fmt.Printf("vpm-node: window holds %d segments (%d evicted), steady-state heap %.1f MB\n",
+		res.Window.Segments, res.Window.Evicted, float64(res.HeapAllocBytes)/(1<<20))
+	fmt.Println("vpm-node: clean shutdown")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpm-node:", err)
+	os.Exit(1)
+}

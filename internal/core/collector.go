@@ -89,6 +89,15 @@ type PathCollector interface {
 	// Flush finalizes all open state and returns the remaining
 	// receipts, in deterministic order.
 	Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt)
+	// Epoch returns the current (open) epoch ordinal.
+	Epoch() EpochID
+	// RotateInterval seals the current epoch — draining the receipts
+	// finalized during it, Drain-style — and opens the next. Open
+	// aggregates and pending sampler buffers carry across untouched.
+	RotateInterval() (EpochID, []receipt.SampleReceipt, []receipt.AggReceipt)
+	// CloseEpoch finalizes all open state into the current epoch —
+	// the terminal rotation at end of stream (Flush semantics).
+	CloseEpoch() (EpochID, []receipt.SampleReceipt, []receipt.AggReceipt)
 	// Memory reports the §7.1 memory accounting.
 	Memory() MemoryStats
 	// Stats returns (packets observed, packets that matched no
@@ -130,6 +139,7 @@ type pathState struct {
 type Collector struct {
 	cfg   CollectorConfig
 	paths map[packet.PathKey]*pathState
+	epoch EpochID
 
 	observed     uint64
 	unclassified uint64

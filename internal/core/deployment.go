@@ -46,6 +46,43 @@ type DeployConfig struct {
 	Shards int
 }
 
+// Validate rejects deployment configurations that would otherwise
+// fail deep inside collector construction with a less useful error —
+// or, worse, silently misbehave (a negative shard count used to reach
+// the collector validator; zero rates produced deployments that never
+// sample or never cut).
+func (c DeployConfig) Validate() error {
+	if c.MarkerRate <= 0 || c.MarkerRate > 1 {
+		return fmt.Errorf("core: marker rate %v outside (0,1]", c.MarkerRate)
+	}
+	if c.WindowNS < 0 {
+		return fmt.Errorf("core: negative reordering window %dns", c.WindowNS)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative collector shard count %d (0 = GOMAXPROCS, 1 = serial)", c.Shards)
+	}
+	if err := validateTuning("default", c.Default); err != nil {
+		return err
+	}
+	for name, t := range c.PerDomain {
+		if err := validateTuning(fmt.Sprintf("domain %q", name), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateTuning checks one domain's σ/δ knobs.
+func validateTuning(who string, t Tuning) error {
+	if t.SampleRate < 0 || t.SampleRate > 1 {
+		return fmt.Errorf("core: %s sampling rate %v outside [0,1]", who, t.SampleRate)
+	}
+	if t.AggRate <= 0 || t.AggRate > 1 {
+		return fmt.Errorf("core: %s aggregation rate %v outside (0,1]", who, t.AggRate)
+	}
+	return nil
+}
+
 // DefaultDeployConfig returns the configuration the experiments use as
 // a baseline: markers about once per mille (one per ~10 ms at backbone
 // rates, which bounds the sampling temp buffer exactly as §7.1's J =
@@ -95,6 +132,9 @@ type Deployment struct {
 // domain on the path.
 func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*Deployment, error) {
 	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	d := &Deployment{

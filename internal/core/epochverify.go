@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/hashing"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+)
+
+// This file implements the per-epoch (scoped) forms of the §4 link
+// check and the per-domain estimates that rolling verification runs as
+// each interval seals.
+//
+// Per-epoch verification cannot simply run CheckLink over one epoch's
+// receipts: receipts for the same packet legitimately seal in adjacent
+// epochs at different HOPs. A sample is sealed in the epoch of its
+// *deciding marker* (Algorithm 1 decides a packet only when the next
+// marker arrives), and the same marker crosses each HOP at a slightly
+// different local time; likewise an aggregate seals where its cutting
+// point lands. The skew is bounded by one interval (marker transit and
+// propagation delay are far below any sane epoch length), so the
+// scoped check works on two scopes:
+//
+//   - claims — the receipts sealed in the target epoch: the records
+//     this epoch's report vouches for, each attributed to exactly one
+//     epoch;
+//   - evidence — the ±1-epoch view around the target, which contains
+//     the counterpart records of every claim.
+//
+// Missing-record judgments iterate the claims but match against the
+// evidence, so boundary spill never reads as a lie, while every record
+// is still judged exactly once — in the epoch that sealed it.
+// Aggregate counts are compared only over regions bounded by cutting
+// points common to both ends within the evidence window (Join's
+// half-open edge regions are trimmed); the untrimmed full-stream
+// comparison is exactly the batch verdict, which continuous operation
+// reproduces byte-for-byte when epochs are unioned
+// (TestBatchContinuousEquivalence).
+
+// epochScope bundles the two scopes of one epoch's verification.
+type epochScope struct {
+	view   *Verifier // evidence: ±1-epoch window, configured
+	claims *ReceiptStore
+	// headComplete reports that the view's lower edge is the true
+	// stream start (epoch 0 is inside the view): nothing precedes the
+	// first joined pair, so no patch-up evidence is missing at its
+	// leading boundary and the head region may be compared.
+	headComplete bool
+	// tailComplete reports that nothing exists beyond the view's upper
+	// edge (the stream finished at or inside it), so Join's tail
+	// region is bounded and may be compared.
+	tailComplete bool
+}
+
+// epochLinkCheck is the scoped §4 link check: MaxDiff agreement, the
+// timestamp bound and missing-record checks for the packets claimed in
+// the target epoch, and aggregate-count equality over commonly-bounded
+// regions of the evidence window.
+func (s *epochScope) epochLinkCheck(key packet.PathKey, linkID int, up, down receipt.HOPID) LinkVerdict {
+	v := s.view
+	lv := LinkVerdict{LinkID: linkID, Up: up, Down: down}
+	iu, id := v.indexFor(up), v.indexFor(down)
+	pu, hasU := iu.path()
+	pd, hasD := id.path()
+	if hasU && hasD && pu.MaxDiffNS != pd.MaxDiffNS {
+		lv.Violations = append(lv.Violations, receipt.Inconsistency{
+			Kind:   receipt.MaxDiffMismatch,
+			Detail: fmt.Sprintf("%v advertises %dns, %v advertises %dns", up, pu.MaxDiffNS, down, pd.MaxDiffNS),
+		})
+	}
+	maxDiff := pu.MaxDiffNS
+
+	cuUniq, _ := s.claims.lookup(up, key).snapshot()
+	cdUniq, _ := s.claims.lookup(down, key).snapshot()
+	_, su := iu.snapshot()
+	_, sd := id.snapshot()
+	var missingDown, missingUp []receipt.Inconsistency
+	for _, pid := range cuUniq {
+		tu := su[pid]
+		td, ok := sd[pid]
+		if !ok {
+			if v.expectedSampled(iu, down, pid) {
+				missingDown = append(missingDown, receipt.Inconsistency{
+					Kind:  receipt.MissingDownstream,
+					PktID: pid,
+					Detail: fmt.Sprintf("delivered by %v, unreported by %v",
+						up, down),
+				})
+			}
+			continue
+		}
+		lv.MatchedSamples++
+		if delta := td - tu; delta > maxDiff {
+			lv.Violations = append(lv.Violations, receipt.Inconsistency{
+				Kind:   receipt.DelayBound,
+				PktID:  pid,
+				Detail: fmt.Sprintf("link delta %dns exceeds MaxDiff %dns", delta, maxDiff),
+			})
+		}
+	}
+	for _, pid := range cdUniq {
+		if _, ok := su[pid]; !ok {
+			if v.expectedSampled(id, up, pid) {
+				missingUp = append(missingUp, receipt.Inconsistency{
+					Kind:  receipt.MissingUpstream,
+					PktID: pid,
+					Detail: fmt.Sprintf("reported received by %v, never reported delivered by %v",
+						down, up),
+				})
+			}
+		}
+	}
+	lv.MissingDown, lv.MissingUp = len(missingDown), len(missingUp)
+	tol := v.missingTolerance(lv.MatchedSamples)
+	// §5.3 noise at epoch granularity: a marker reordered against its
+	// buffer between the two ends desynchronizes the sampling decisions
+	// of up to a buffer's worth of packets — in BOTH directions at
+	// once, and by similar amounts (each end samples ~σ/µ packets the
+	// other did not). Absorb that symmetric component up to a few
+	// buffers' worth; judge each direction's excess at the standard
+	// tolerance. Loss and lies are asymmetric — a dropped packet is
+	// missing downstream only, a fabricated one missing upstream only —
+	// so they keep their full weight (TestRollingVerifierFlagsFaultyLink).
+	sym := lv.MissingDown
+	if lv.MissingUp < sym {
+		sym = lv.MissingUp
+	}
+	if sym > epochNoiseFloor(v, up, down) {
+		sym = 0 // too large even for reorder noise: judge in full
+	}
+	if lv.MissingDown-sym > tol {
+		lv.Violations = append(lv.Violations, missingDown...)
+	}
+	if lv.MissingUp-sym > tol {
+		lv.Violations = append(lv.Violations, missingUp...)
+	}
+
+	if ra, rb := iu.aggReceipts(), id.aggReceipts(); len(ra) > 0 && len(rb) > 0 {
+		pairs := aggregation.JoinAligned(ra, rb)
+		for _, p := range s.boundedPairs(pairs, ra, rb) {
+			lv.Violations = append(lv.Violations, receipt.CheckAggPair(p.A, p.B)...)
+		}
+	}
+	return lv
+}
+
+// boundedPairs trims a joined sequence to the pairs whose packet
+// regions can actually be judged inside the evidence window:
+//
+//   - Interior pairs — bounded by cutting points common to both HOPs,
+//     with a preceding pair in view — are always comparable: PatchUp
+//     already migrated reordered packets across both of their
+//     boundaries.
+//   - The head pair is comparable only when the view reaches the true
+//     stream start AND both sequences begin at the same packet;
+//     otherwise its leading boundary's patch-up evidence (the AggTrans
+//     of the preceding, out-of-view aggregate) is missing and a few
+//     legitimately migrated packets would read as a count lie.
+//   - The tail pair is comparable only when nothing beyond the view
+//     can extend either sequence (stream finished inside the window).
+//
+// Half-open edge regions compare receipts for different packet sets —
+// seal-epoch skew, not lies — and are left to the reports whose view
+// does bound them; the union-of-epochs batch check remains the
+// complete backstop.
+func (s *epochScope) boundedPairs(pairs []aggregation.Pair, a, b []receipt.AggReceipt) []aggregation.Pair {
+	lo, hi := 0, len(pairs)
+	if !s.headComplete || a[0].Agg.First != b[0].Agg.First {
+		lo = 1
+	}
+	if !s.tailComplete {
+		hi--
+	}
+	if lo >= hi {
+		return nil
+	}
+	return pairs[lo:hi]
+}
+
+// epochNoiseFloor bounds the symmetric §5.3 reordering noise an
+// epoch-scale missing-record check absorbs: one flipped marker
+// desynchronizes up to a temporary buffer's worth of sampling
+// decisions — σ/µ samples in expectation per direction — and the
+// floor covers a few such events per epoch. Stream-scale checks bury
+// these episodic bursts inside the fractional tolerance; an
+// epoch-scale matched population does not.
+func epochNoiseFloor(v *Verifier, up, down receipt.HOPID) int {
+	mu := v.cfg.MarkerThreshold
+	if mu == 0 {
+		return 0
+	}
+	muRate := hashing.RateForThreshold(mu)
+	if muRate <= 0 {
+		return 0
+	}
+	sigma := v.cfg.SampleThresholds[up]
+	if s, ok := v.cfg.SampleThresholds[down]; ok && (sigma == 0 || s < sigma) {
+		sigma = s // lower threshold = higher sampling rate = bigger buffers
+	}
+	if sigma == 0 {
+		return 0
+	}
+	perBuffer := hashing.RateForThreshold(sigma) / muRate
+	return int(4 * perBuffer)
+}
+
+// epochDomainReport estimates one domain's loss and delay for the
+// target epoch: delays from the samples the egress HOP sealed in it
+// (each sample contributes to exactly one epoch's estimate), loss from
+// the commonly-bounded joined aggregates of the evidence window.
+func (s *epochScope) epochDomainReport(key packet.PathKey, seg Segment, qs []float64, confidence float64) (DomainReport, error) {
+	v := s.view
+	rep := DomainReport{Name: seg.Name, Ingress: seg.Up, Egress: seg.Down}
+
+	if ra, rb := v.indexFor(seg.Up).aggReceipts(), v.indexFor(seg.Down).aggReceipts(); len(ra) > 0 && len(rb) > 0 {
+		pairs := aggregation.Join(ra, rb)
+		mig := aggregation.PatchUp(pairs)
+		bounded := s.boundedPairs(pairs, ra, rb)
+		rep.Loss = LossReport{Pairs: bounded, Migrations: mig}
+		for _, p := range bounded {
+			rep.Loss.In += int64(p.A.PktCnt)
+			rep.Loss.Lost += p.Lost()
+		}
+	}
+
+	cdUniq, _ := s.claims.lookup(seg.Down, key).snapshot()
+	_, si := v.indexFor(seg.Up).snapshot()
+	_, se := v.indexFor(seg.Down).snapshot()
+	var delays []float64
+	for _, pid := range cdUniq {
+		if ti, ok := si[pid]; ok {
+			delays = append(delays, float64(se[pid]-ti))
+		}
+	}
+	rep.DelaySamples = len(delays)
+	if len(delays) > 0 {
+		ests, err := quantile.Quantiles(delays, qs, confidence)
+		if err != nil {
+			return rep, err
+		}
+		rep.DelayEstimates = ests
+	} else {
+		rep.DelayEstimateErr = "no matched samples"
+	}
+	return rep, nil
+}

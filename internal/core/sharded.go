@@ -142,6 +142,7 @@ type ShardedCollector struct {
 	cfg    CollectorConfig
 	shards []*shard
 	cache  [classifyCacheSize]classifyEntry
+	epoch  EpochID
 
 	observed     uint64
 	unclassified uint64

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vpm/internal/dissem"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+)
+
+// WindowedStore is the continuous-operation receipt store: one segment
+// of raw receipts per epoch, so the pipeline can verify epoch N (a
+// sealed, immutable segment) while epoch N+1 is still ingesting into
+// its own segment, and garbage-collect old epochs once they are
+// verified and outside the retention window.
+//
+// Lifecycle per (HOP, epoch): receipts arrive exactly once, when the
+// HOP seals the epoch (EpochSink → IngestSealed), or incrementally
+// from epoch-tagged dissemination bundles (IngestBundle) followed by
+// SealHOP. An epoch becomes Ready for verification when every expected
+// HOP has sealed it AND its successor epoch is sealed too (or
+// FinishStream declared the stream over): verification reads a ±1
+// epoch evidence window around the target, because a packet observed
+// upstream at the end of epoch N legitimately reaches the downstream
+// HOP in its epoch N+1 — boundary spill is propagation delay, not a
+// lie. MarkVerified records the outcome and Evict drops epochs that
+// are verified, no longer needed as a neighbor's evidence, and older
+// than newest-sealed − retention. Eviction never drops an unverified
+// epoch, regardless of age — receipts are evidence, and evidence is
+// only discarded after judgment.
+//
+// Concurrency: all methods are safe for concurrent use. Ingest into
+// epoch N+1 may run concurrently with verification of epoch N−1
+// (different segments); ingest and verification of the same epoch are
+// mutually exclusive by the seal protocol (only Ready — fully sealed —
+// epochs are verified, and a sealed (HOP, epoch) receives no further
+// receipts).
+type WindowedStore struct {
+	mu        sync.Mutex
+	hops      []receipt.HOPID
+	retention int
+	segs      map[EpochID]*epochSegment
+	minEpoch  EpochID // epochs below this were evicted
+	maxSealed EpochID // newest fully sealed epoch
+	hasSealed bool
+	finished  bool // stream over: no further epochs will seal
+	evicted   uint64
+}
+
+// epochSegment is one epoch's worth of raw receipts plus its
+// lifecycle state. Receipts are kept raw (per HOP, in arrival order)
+// rather than pre-indexed, because verification reads them through a
+// multi-epoch evidence window assembled per target epoch.
+type epochSegment struct {
+	mu       sync.Mutex
+	samples  map[receipt.HOPID][]receipt.SampleReceipt
+	aggs     map[receipt.HOPID][]receipt.AggReceipt
+	sealedBy map[receipt.HOPID]bool
+	verified bool
+}
+
+func newEpochSegment() *epochSegment {
+	return &epochSegment{
+		samples:  make(map[receipt.HOPID][]receipt.SampleReceipt),
+		aggs:     make(map[receipt.HOPID][]receipt.AggReceipt),
+		sealedBy: make(map[receipt.HOPID]bool),
+	}
+}
+
+// add appends receipts for one HOP.
+func (s *epochSegment) add(hop receipt.HOPID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples[hop] = append(s.samples[hop], samples...)
+	s.aggs[hop] = append(s.aggs[hop], aggs...)
+}
+
+// ingestInto files the segment's receipts for hop into store.
+func (s *epochSegment) ingestInto(store *ReceiptStore, hop receipt.HOPID) {
+	s.mu.Lock()
+	samples, aggs := s.samples[hop], s.aggs[hop]
+	s.mu.Unlock()
+	for _, r := range samples {
+		store.AddSamples(hop, r)
+	}
+	store.AddAggs(hop, aggs)
+}
+
+// NewWindowedStore builds a windowed store expecting receipts from the
+// given HOPs (an epoch seals when all of them sealed it), keeping at
+// most retention verified epochs behind the newest sealed one.
+func NewWindowedStore(hops []receipt.HOPID, retention int) (*WindowedStore, error) {
+	if retention < 1 {
+		return nil, fmt.Errorf("core: retention %d epochs is below the 1-epoch minimum", retention)
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("core: windowed store needs at least one expected HOP")
+	}
+	sorted := append([]receipt.HOPID(nil), hops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &WindowedStore{
+		hops:      sorted,
+		retention: retention,
+		segs:      make(map[EpochID]*epochSegment),
+	}, nil
+}
+
+// segmentLocked returns (creating if needed) the segment for epoch.
+// The store mutex must be held.
+func (w *WindowedStore) segmentLocked(epoch EpochID) (*epochSegment, error) {
+	if seg, ok := w.segs[epoch]; ok {
+		return seg, nil
+	}
+	// Only reached for epochs with no live segment: refuse to open a
+	// fresh one behind the eviction horizon.
+	if epoch < w.minEpoch {
+		return nil, fmt.Errorf("core: epoch %d was already evicted (window starts at %d)", epoch, w.minEpoch)
+	}
+	seg := newEpochSegment()
+	w.segs[epoch] = seg
+	return seg, nil
+}
+
+// Sink adapts the store to the EpochSink shape, for wiring an
+// EpochDriver straight into the window without a dissemination layer
+// in between. The only possible ingest error — sealing receipts into
+// an already-evicted epoch, a lifecycle violation that cannot occur
+// when eviction follows verification — panics loudly rather than
+// dropping measurements silently.
+func (w *WindowedStore) Sink() EpochSink {
+	return func(hop receipt.HOPID, epoch EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+		if err := w.IngestSealed(hop, epoch, samples, aggs); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// IngestSealed files one HOP's complete epoch — the EpochSink shape:
+// receipts are added to the epoch's segment and the HOP is marked as
+// having sealed it.
+func (w *WindowedStore) IngestSealed(hop receipt.HOPID, epoch EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) error {
+	w.mu.Lock()
+	seg, err := w.segmentLocked(epoch)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Segment ingest synchronizes per segment, so HOPs sealing
+	// different epochs never serialize on the window lock.
+	seg.add(hop, samples, aggs)
+	return w.SealHOP(hop, epoch)
+}
+
+// IngestBundle files one epoch-tagged dissemination bundle into its
+// epoch's segment. Pair with SealHOP once a HOP's epoch is known to
+// be complete (with one bundle per sealed epoch, that is on receipt of
+// the bundle itself).
+func (w *WindowedStore) IngestBundle(b *dissem.Bundle) error {
+	w.mu.Lock()
+	seg, err := w.segmentLocked(EpochID(b.Epoch))
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	seg.add(b.Origin, b.Samples, b.Aggs)
+	return nil
+}
+
+// SealHOP records that hop has no further receipts for epoch. When the
+// last expected HOP seals an epoch it counts toward readiness.
+func (w *WindowedStore) SealHOP(hop receipt.HOPID, epoch EpochID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seg, err := w.segmentLocked(epoch)
+	if err != nil {
+		return err
+	}
+	seg.sealedBy[hop] = true
+	if w.sealedLocked(seg) && (!w.hasSealed || epoch > w.maxSealed) {
+		w.maxSealed, w.hasSealed = epoch, true
+	}
+	return nil
+}
+
+// FinishStream declares that no further epochs will seal (clean
+// shutdown), which releases the final epoch for verification: mid-
+// stream, epoch N only becomes Ready once N+1 is sealed, because N+1
+// holds the downstream half of N's boundary-spill evidence.
+func (w *WindowedStore) FinishStream() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.finished = true
+}
+
+// sealedLocked reports whether every expected HOP sealed the segment.
+func (w *WindowedStore) sealedLocked(seg *epochSegment) bool {
+	for _, h := range w.hops {
+		if !seg.sealedBy[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ready returns the epochs eligible for verification, in ascending
+// order: sealed by every HOP, not yet verified, and with their
+// successor epoch sealed too (or the stream finished) so the ±1
+// evidence window is complete.
+func (w *WindowedStore) Ready() []EpochID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []EpochID
+	for e, seg := range w.segs {
+		if seg.verified || !w.sealedLocked(seg) {
+			continue
+		}
+		if next, ok := w.segs[e+1]; ok && w.sealedLocked(next) {
+			out = append(out, e)
+		} else if w.finished {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Holds reports whether the store still has a segment for epoch.
+func (w *WindowedStore) Holds(epoch EpochID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.segs[epoch]
+	return ok
+}
+
+// View assembles the verification store for one target epoch: the
+// target segment plus its immediate neighbors (when they exist),
+// ingested in (epoch, HOP) order so every (HOP, key) index holds its
+// records in stream order. The neighbors supply the boundary-spill
+// evidence — receipts a HOP sealed one interval away for packets that
+// crossed the target interval's edges in flight.
+func (w *WindowedStore) View(epoch EpochID) (*ReceiptStore, error) {
+	w.mu.Lock()
+	var segs []*epochSegment
+	if epoch > 0 {
+		if seg, ok := w.segs[epoch-1]; ok {
+			segs = append(segs, seg)
+		}
+	}
+	target, ok := w.segs[epoch]
+	if !ok {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("core: no segment for epoch %d", epoch)
+	}
+	segs = append(segs, target)
+	if seg, ok := w.segs[epoch+1]; ok {
+		segs = append(segs, seg)
+	}
+	hops := w.hops
+	w.mu.Unlock()
+
+	store := NewReceiptStore()
+	for _, seg := range segs {
+		for _, hop := range hops {
+			seg.ingestInto(store, hop)
+		}
+	}
+	return store, nil
+}
+
+// claimsStore assembles just the target epoch's receipts — the records
+// a per-epoch report vouches for.
+func (w *WindowedStore) claimsStore(epoch EpochID) (*ReceiptStore, error) {
+	w.mu.Lock()
+	target, ok := w.segs[epoch]
+	if !ok {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("core: no segment for epoch %d", epoch)
+	}
+	hops := w.hops
+	w.mu.Unlock()
+	store := NewReceiptStore()
+	for _, hop := range hops {
+		target.ingestInto(store, hop)
+	}
+	return store, nil
+}
+
+// tailComplete reports whether nothing can exist beyond epoch+1: the
+// stream has finished and epoch+1 reaches the newest sealed epoch.
+func (w *WindowedStore) tailComplete(epoch EpochID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.finished && w.hasSealed && epoch+1 >= w.maxSealed
+}
+
+// MarkVerified records that epoch's segment has been verified, making
+// it eligible for eviction once it ages out and is no longer needed as
+// a neighbor's evidence.
+func (w *WindowedStore) MarkVerified(epoch EpochID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seg, ok := w.segs[epoch]
+	if !ok {
+		return fmt.Errorf("core: cannot mark epoch %d verified: no such segment", epoch)
+	}
+	seg.verified = true
+	return nil
+}
+
+// Evict garbage-collects segments that are (a) verified, (b) done
+// serving as their successor's boundary evidence — the successor is
+// verified too (or already gone) — and (c) older than newestSealed −
+// retention. Returns how many were dropped. Unverified epochs are
+// never evicted, however old: an unverified epoch holds the only
+// evidence of what its interval's traffic did.
+func (w *WindowedStore) Evict() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.hasSealed || w.maxSealed < EpochID(w.retention) {
+		return 0
+	}
+	horizon := w.maxSealed - EpochID(w.retention)
+	n := 0
+	for e, seg := range w.segs {
+		if e >= horizon || !seg.verified {
+			continue
+		}
+		if next, ok := w.segs[e+1]; ok && !next.verified {
+			continue // still the successor's lookback evidence
+		}
+		delete(w.segs, e)
+		n++
+		w.evicted++
+		if e >= w.minEpoch {
+			w.minEpoch = e + 1
+		}
+	}
+	return n
+}
+
+// WindowStats is a snapshot of the store's occupancy — the quantity
+// the bounded-memory assertion tracks.
+type WindowStats struct {
+	// Segments is how many epoch segments are currently held.
+	Segments int
+	// Evicted is the cumulative number of segments garbage-collected.
+	Evicted uint64
+	// OldestHeld and NewestHeld bound the held epochs (zero when
+	// Segments is 0).
+	OldestHeld, NewestHeld EpochID
+}
+
+// Stats returns the store's occupancy snapshot.
+func (w *WindowedStore) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WindowStats{Segments: len(w.segs), Evicted: w.evicted}
+	first := true
+	for e := range w.segs {
+		if first || e < st.OldestHeld {
+			st.OldestHeld = e
+		}
+		if first || e > st.NewestHeld {
+			st.NewestHeld = e
+		}
+		first = false
+	}
+	return st
+}
+
+// EpochKeyReport is one traffic key's verification outcome within one
+// epoch.
+type EpochKeyReport struct {
+	Key     packet.PathKey
+	Links   []LinkVerdict
+	Domains []DomainReport
+}
+
+// EpochReport is the rolling verifier's per-epoch delta: every traffic
+// key observed around the epoch, each with its link verdicts and
+// domain reports — the unit a continuous deployment publishes as each
+// interval closes. Reports are computed over the epoch's ±1-interval
+// evidence window, so consecutive reports overlap at the boundaries
+// (a sample in flight across an epoch edge is matched — and counted —
+// in both neighbors' reports).
+type EpochReport struct {
+	Epoch EpochID
+	Keys  []EpochKeyReport
+}
+
+// Violations counts the consistency violations across all keys and
+// links of the epoch.
+func (r EpochReport) Violations() int {
+	n := 0
+	for _, k := range r.Keys {
+		for _, lv := range k.Links {
+			n += len(lv.Violations)
+		}
+	}
+	return n
+}
+
+// MatchedSamples sums the matched samples across all keys and links.
+func (r EpochReport) MatchedSamples() int64 {
+	var n int64
+	for _, k := range r.Keys {
+		for _, lv := range k.Links {
+			n += int64(lv.MatchedSamples)
+		}
+	}
+	return n
+}
+
+// RollingVerifier turns sealed epochs into per-epoch reports: for each
+// Ready epoch it runs the full §4 verification (VerifyAllLinks +
+// DomainReports) over every traffic key in the epoch's evidence
+// window, then marks the epoch verified so the window can evict it.
+// Rolling operation changes when verification runs, not what it
+// computes: ingesting every epoch's receipts into one store and
+// verifying once yields verdicts byte-identical to the one-shot batch
+// (TestBatchContinuousEquivalence).
+type RollingVerifier struct {
+	layout     Layout
+	cfg        VerifierConfig
+	win        *WindowedStore
+	quantiles  []float64
+	confidence float64
+}
+
+// NewRollingVerifier builds a rolling verifier over win. quantiles and
+// confidence parameterize the per-domain delay estimates (defaults:
+// quantile.DefaultQuantiles, 0.95).
+func NewRollingVerifier(layout Layout, cfg VerifierConfig, win *WindowedStore, quantiles []float64, confidence float64) *RollingVerifier {
+	if len(quantiles) == 0 {
+		quantiles = quantile.DefaultQuantiles
+	}
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	return &RollingVerifier{layout: layout, cfg: cfg, win: win, quantiles: quantiles, confidence: confidence}
+}
+
+// VerifyEpoch verifies one sealed epoch and marks it verified: every
+// traffic key with receipts sealed in the epoch gets the scoped §4
+// link checks and per-domain estimates (claims from the epoch,
+// evidence from the ±1 window — see epochverify.go). An epoch with no
+// traffic yields an empty report. Keys within the report verify on a
+// VerifierConfig.Workers pool; reports are identical at any pool size.
+func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
+	rep := EpochReport{Epoch: epoch}
+	view, err := rv.win.View(epoch)
+	if err != nil {
+		return rep, err
+	}
+	claims, err := rv.win.claimsStore(epoch)
+	if err != nil {
+		return rep, err
+	}
+	keys := claims.Keys()
+	if len(keys) == 0 {
+		return rep, rv.win.MarkVerified(epoch)
+	}
+	rep.Keys = make([]EpochKeyReport, len(keys))
+	errs := make([]error, len(keys))
+	runParallel(resolveWorkers(rv.cfg.Workers), len(keys), func(i int) {
+		key := keys[i]
+		v := NewVerifierOn(rv.layout, view, key)
+		v.SetConfig(rv.cfg)
+		scope := &epochScope{
+			view:   v,
+			claims: claims,
+			// The view spans max(0, epoch−1)..epoch+1, so it reaches
+			// the stream start exactly when epoch ≤ 1.
+			headComplete: epoch <= 1,
+			tailComplete: rv.win.tailComplete(epoch),
+		}
+		kr := EpochKeyReport{Key: key}
+		for li, l := range rv.layout.Links() {
+			kr.Links = append(kr.Links, scope.epochLinkCheck(key, li, l.Up, l.Down))
+		}
+		for _, seg := range rv.layout.DomainSegments() {
+			dr, err := scope.epochDomainReport(key, seg, rv.quantiles, rv.confidence)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: epoch %d key %v: %w", epoch, key, err)
+				return
+			}
+			kr.Domains = append(kr.Domains, dr)
+		}
+		rep.Keys[i] = kr
+	})
+	for _, err := range errs {
+		if err != nil {
+			return rep, err
+		}
+	}
+	if err := rv.win.MarkVerified(epoch); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// VerifyReady verifies every Ready epoch in ascending order and
+// returns their reports.
+func (rv *RollingVerifier) VerifyReady() ([]EpochReport, error) {
+	var out []EpochReport
+	for _, e := range rv.win.Ready() {
+		rep, err := rv.VerifyEpoch(e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -23,13 +23,19 @@ type Bundle struct {
 	Origin receipt.HOPID
 	// Seq is the bundle sequence number (monotonic per origin).
 	Seq uint64
+	// Epoch tags the reporting interval the receipts were sealed in —
+	// the continuous pipeline routes bundles into per-epoch store
+	// segments by it. Batch (single-interval) producers leave it 0.
+	Epoch uint64
 	// Samples and Aggs are the interval's receipts.
 	Samples []receipt.SampleReceipt
 	Aggs    []receipt.AggReceipt
 }
 
-// bundleMagic guards the canonical encoding.
-var bundleMagic = [4]byte{'V', 'P', 'M', 'B'}
+// bundleMagic guards the canonical encoding. The last byte is the
+// layout version; '2' added the epoch tag to the header, so pre-epoch
+// encodings fail loudly instead of misparsing.
+var bundleMagic = [4]byte{'V', 'P', 'M', '2'}
 
 // ErrCorruptBundle reports a malformed bundle encoding.
 var ErrCorruptBundle = errors.New("dissem: corrupt bundle")
@@ -37,11 +43,12 @@ var ErrCorruptBundle = errors.New("dissem: corrupt bundle")
 // Encode produces the canonical binary form that signatures cover.
 func (b *Bundle) Encode() []byte {
 	out := append([]byte{}, bundleMagic[:]...)
-	var hdr [20]byte
+	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.Origin))
 	binary.LittleEndian.PutUint64(hdr[4:12], b.Seq)
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(b.Samples)))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(b.Aggs)))
+	binary.LittleEndian.PutUint64(hdr[12:20], b.Epoch)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(b.Samples)))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(b.Aggs)))
 	out = append(out, hdr[:]...)
 	for _, s := range b.Samples {
 		out = s.AppendBinary(out)
@@ -54,16 +61,17 @@ func (b *Bundle) Encode() []byte {
 
 // DecodeBundle parses a canonical bundle encoding.
 func DecodeBundle(data []byte) (*Bundle, error) {
-	if len(data) < 24 || [4]byte(data[0:4]) != bundleMagic {
+	if len(data) < 32 || [4]byte(data[0:4]) != bundleMagic {
 		return nil, ErrCorruptBundle
 	}
 	b := &Bundle{
 		Origin: receipt.HOPID(binary.LittleEndian.Uint32(data[4:8])),
 		Seq:    binary.LittleEndian.Uint64(data[8:16]),
+		Epoch:  binary.LittleEndian.Uint64(data[16:24]),
 	}
-	nSamples := binary.LittleEndian.Uint32(data[16:20])
-	nAggs := binary.LittleEndian.Uint32(data[20:24])
-	rest := data[24:]
+	nSamples := binary.LittleEndian.Uint32(data[24:28])
+	nAggs := binary.LittleEndian.Uint32(data[28:32])
+	rest := data[32:]
 	for i := uint32(0); i < nSamples; i++ {
 		s, _, r, err := receipt.Decode(rest)
 		if err != nil {

@@ -13,15 +13,25 @@ import (
 
 // Server publishes one HOP's signed receipt bundles over HTTP. Mount
 // it at a path of your choice; GET ?since=N returns all bundles with
-// Seq >= N as a JSON array of SignedBundle. Wrap in TLS for the
-// paper's HTTPS web-site realization.
+// Seq >= N, GET ?epoch=E only the bundles tagged with epoch E (the
+// two filters compose), as a JSON array of SignedBundle. Wrap in TLS
+// for the paper's HTTPS web-site realization.
 type Server struct {
 	hop    receipt.HOPID
 	signer *Signer
 
 	mu      sync.RWMutex
-	bundles []SignedBundle
+	bundles []published
+	base    uint64 // Seq of bundles[0]; earlier bundles were dropped
 	nextSeq uint64
+}
+
+// published is one signed bundle plus the epoch it was tagged with,
+// kept in the clear so the server can filter without re-decoding
+// payloads.
+type published struct {
+	sb    SignedBundle
+	epoch uint64
 }
 
 // NewServer builds a publisher for one HOP.
@@ -30,22 +40,51 @@ func NewServer(hop receipt.HOPID, signer *Signer) *Server {
 }
 
 // Publish signs and retains the given receipts as the next bundle,
-// returning its sequence number.
+// returning its sequence number. Batch (single-interval) use; the
+// bundle is tagged epoch 0.
 func (s *Server) Publish(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) uint64 {
+	return s.PublishEpoch(0, samples, aggs)
+}
+
+// PublishEpoch signs and retains one sealed epoch's receipts as the
+// next bundle, tagged with the epoch so subscribers can route it into
+// the matching window segment. Returns the bundle's sequence number.
+func (s *Server) PublishEpoch(epoch uint64, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seq := s.nextSeq
 	s.nextSeq++
-	b := &Bundle{Origin: s.hop, Seq: seq, Samples: samples, Aggs: aggs}
-	s.bundles = append(s.bundles, s.signer.Sign(b))
+	b := &Bundle{Origin: s.hop, Seq: seq, Epoch: epoch, Samples: samples, Aggs: aggs}
+	s.bundles = append(s.bundles, published{sb: s.signer.Sign(b), epoch: epoch})
 	return seq
 }
 
-// BundleCount returns how many bundles have been published.
+// BundleCount returns how many bundles the server currently retains.
 func (s *Server) BundleCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.bundles)
+}
+
+// DropThrough discards every retained bundle with Seq <= seq — the
+// publisher-side garbage collection of continuous operation. Sequence
+// numbers are stable across drops: later fetches with ?since continue
+// to work, and a fetch reaching into the dropped range simply returns
+// what is still retained (the subscriber's cursor discipline guarantees
+// it already consumed the rest). Without periodic drops an endless
+// epoch stream accumulates in the server forever.
+func (s *Server) DropThrough(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.base {
+		return
+	}
+	n := seq - s.base + 1
+	if n > uint64(len(s.bundles)) {
+		n = uint64(len(s.bundles))
+	}
+	s.bundles = append(s.bundles[:0:0], s.bundles[n:]...)
+	s.base += n
 }
 
 // ServeHTTP implements http.Handler.
@@ -63,10 +102,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	epochFilter, hasEpoch := uint64(0), false
+	if q := r.URL.Query().Get("epoch"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad epoch parameter", http.StatusBadRequest)
+			return
+		}
+		epochFilter, hasEpoch = v, true
+	}
 	s.mu.RLock()
 	var out []SignedBundle
-	if since < uint64(len(s.bundles)) {
-		out = append(out, s.bundles[since:]...)
+	start := uint64(0)
+	if since > s.base {
+		start = since - s.base
+	}
+	if start < uint64(len(s.bundles)) {
+		for _, p := range s.bundles[start:] {
+			if hasEpoch && p.epoch != epochFilter {
+				continue
+			}
+			out = append(out, p.sb)
+		}
 	}
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -109,6 +166,26 @@ func (c *Client) Fetch(ctx context.Context, baseURL string, origin receipt.HOPID
 // design — pair FetchEach with a Verifier whose answers are only read
 // after a successful drain).
 func (c *Client) FetchEach(ctx context.Context, baseURL string, origin receipt.HOPID, since uint64, fn func(*Bundle) error) error {
+	return c.fetchEach(ctx, fmt.Sprintf("%s?since=%d", baseURL, since), origin, fn)
+}
+
+// FetchEpochEach streams only the bundles the server tagged with the
+// given epoch — the per-epoch subscription of a rolling verifier.
+// Signatures are verified per bundle exactly as in FetchEach, and the
+// epoch claim inside each authenticated payload is checked against the
+// requested epoch so a server cannot smuggle another interval's
+// receipts into the response.
+func (c *Client) FetchEpochEach(ctx context.Context, baseURL string, origin receipt.HOPID, epoch uint64, fn func(*Bundle) error) error {
+	return c.fetchEach(ctx, fmt.Sprintf("%s?epoch=%d", baseURL, epoch), origin, func(b *Bundle) error {
+		if b.Epoch != epoch {
+			return fmt.Errorf("dissem: %v sent epoch %d in an epoch-%d fetch", origin, b.Epoch, epoch)
+		}
+		return fn(b)
+	})
+}
+
+// fetchEach GETs url and streams each authenticated bundle to fn.
+func (c *Client) fetchEach(ctx context.Context, url string, origin receipt.HOPID, fn func(*Bundle) error) error {
 	pub, ok := c.Registry[origin]
 	if !ok {
 		return fmt.Errorf("dissem: no registered key for %v", origin)
@@ -117,7 +194,6 @@ func (c *Client) FetchEach(ctx context.Context, baseURL string, origin receipt.H
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	url := fmt.Sprintf("%s?since=%d", baseURL, since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -193,12 +269,53 @@ func (b *Bus) Collect(reg Registry, origin receipt.HOPID) ([]*Bundle, error) {
 	return out, nil
 }
 
+// CollectSince streams the HOP's verified bundles with Seq >= since to
+// fn and returns the next since value — the incremental-subscription
+// primitive: a rolling verifier polls each HOP with the cursor from
+// the previous call and sees every bundle exactly once. The cursor
+// advances only past bundles fn consumed successfully, so retrying
+// with the returned cursor after an error re-delivers the failed
+// bundle (at-least-once).
+func (b *Bus) CollectSince(reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle) error) (uint64, error) {
+	next := since
+	err := b.collectFrom(reg, origin, since, func(bundle *Bundle) error {
+		if err := fn(bundle); err != nil {
+			return err
+		}
+		if bundle.Seq >= next {
+			next = bundle.Seq + 1
+		}
+		return nil
+	})
+	return next, err
+}
+
 // CollectEach is the streaming form of Collect: each of the HOP's
 // bundles is verified and handed to fn one at a time, without
 // materializing the full interval. fn runs outside the bus and server
 // locks, so it may ingest into a verifier (or publish elsewhere)
 // freely; a verification failure or fn error aborts the stream.
 func (b *Bus) CollectEach(reg Registry, origin receipt.HOPID, fn func(*Bundle) error) error {
+	return b.collectFrom(reg, origin, 0, fn)
+}
+
+// CollectEpochEach streams only the HOP's bundles tagged with the
+// given epoch — the per-epoch fetch a rolling verifier issues when it
+// learns an interval has closed. Every bundle is still signature-
+// verified before the epoch filter is applied.
+func (b *Bus) CollectEpochEach(reg Registry, origin receipt.HOPID, epoch uint64, fn func(*Bundle) error) error {
+	return b.collectFrom(reg, origin, 0, func(bundle *Bundle) error {
+		if bundle.Epoch != epoch {
+			return nil
+		}
+		return fn(bundle)
+	})
+}
+
+// collectFrom streams the HOP's verified bundles with Seq >= since to
+// fn. Sequence numbers index the server's log behind its base offset
+// (bundles below the base were dropped by DropThrough and are skipped).
+func (b *Bus) collectFrom(reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle) error) error {
 	b.mu.RLock()
 	s, ok := b.servers[origin]
 	b.mu.RUnlock()
@@ -209,13 +326,17 @@ func (b *Bus) CollectEach(reg Registry, origin receipt.HOPID, fn func(*Bundle) e
 	if !ok {
 		return fmt.Errorf("dissem: no registered key for %v", origin)
 	}
-	for i := 0; ; i++ {
+	for i := since; ; i++ {
 		s.mu.RLock()
-		if i >= len(s.bundles) {
+		if i < s.base {
+			i = s.base
+		}
+		idx := i - s.base
+		if idx >= uint64(len(s.bundles)) {
 			s.mu.RUnlock()
 			return nil
 		}
-		sb := s.bundles[i]
+		sb := s.bundles[idx].sb
 		s.mu.RUnlock()
 		bundle, err := Verify(pub, origin, sb)
 		if err != nil {

@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"vpm/internal/core"
+	"vpm/internal/dissem"
+	"vpm/internal/netsim"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/trace"
+)
+
+// This file runs the pipeline the way a deployment would: continuously,
+// over a stream of rotating epochs, with receipts travelling through
+// signed per-epoch dissemination bundles and verification rolling one
+// interval behind ingest. RunContinuous is the engine (cmd/vpm-node is
+// a thin wrapper around it); Epochs is the benchmark that measures
+// sustained epochs/s and steady-state memory against the one-shot
+// batch baseline, emitting the BENCH_*.json trajectory rows.
+
+// ContinuousResult is the outcome of one continuous run.
+type ContinuousResult struct {
+	// EpochsRun counts the simulation segments driven (one per
+	// configured epoch, fewer if stopped early).
+	EpochsRun int
+	// EpochsSealed counts the epochs every HOP sealed — EpochsRun plus
+	// the terminal partial interval that propagation delay spills into.
+	EpochsSealed int
+	// Packets is the total traffic replayed.
+	Packets int
+	// SampleReceipts and AggReceipts count the receipts sealed across
+	// all epochs and HOPs.
+	SampleReceipts, AggReceipts int
+	// Reports are the per-epoch verification deltas, in epoch order.
+	Reports []core.EpochReport
+	// Violations and MatchedSamples aggregate the reports.
+	Violations     int
+	MatchedSamples int64
+	// EpochWall holds each epoch's ingest wall time (simulation +
+	// rotation + publication; verification overlaps the next epoch).
+	EpochWall []time.Duration
+	// Window is the windowed store's final occupancy — Segments stays
+	// bounded by retention no matter how many epochs ran.
+	Window core.WindowStats
+	// HeapAllocBytes is the live heap after a forced GC at the end of
+	// the run, with the window (but not the trace) still reachable —
+	// the steady-state memory of the pipeline.
+	HeapAllocBytes uint64
+}
+
+// RunContinuous drives the Fig1 workload over `epochs` rotating
+// intervals: each epoch's packets are generated and simulated as one
+// segment (network state persists across segments via netsim.Runner),
+// every HOP's sealed epoch is published as an ed25519-signed
+// epoch-tagged bundle, a rolling verifier drains the bundles into a
+// windowed store and verifies each interval as soon as every HOP has
+// sealed it — concurrently with ingest of the following epoch — and
+// verified epochs older than the retention window are evicted.
+//
+// onEpoch, if non-nil, receives each epoch's report as verification
+// completes (from the verification goroutine). stop, if non-nil,
+// aborts cleanly at the next epoch boundary when closed.
+func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(core.EpochReport, core.WindowStats), stop <-chan struct{}) (*ContinuousResult, error) {
+	cfg = cfg.Normalize()
+	if err := ec.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("experiments: need at least one epoch, got %d", epochs)
+	}
+
+	tc := trace.Config{
+		Seed:       cfg.Seed,
+		DurationNS: int64(epochs) * ec.IntervalNS,
+		Paths:      []trace.PathSpec{trace.DefaultPath(cfg.RatePPS)},
+	}
+	gen, err := trace.NewGenerator(tc)
+	if err != nil {
+		return nil, err
+	}
+	path := netsim.Fig1Path(cfg.Seed + 1000)
+	dc := core.DefaultDeployConfig()
+	dc.Shards = ec.Shards
+	dep, err := core.NewDeployment(path, tc.Table(), dc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Dissemination: one signer + bundle server per HOP, all on an
+	// in-memory bus, with every public key registered.
+	hops := make([]receipt.HOPID, 0, len(dep.Processors))
+	for id := range dep.Processors {
+		hops = append(hops, id)
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+	bus := dissem.NewBus()
+	reg := make(dissem.Registry, len(hops))
+	servers := make(map[receipt.HOPID]*dissem.Server, len(hops))
+	for _, id := range hops {
+		var keySeed [32]byte
+		keySeed[0], keySeed[1] = byte(cfg.Seed), byte(id)
+		signer := dissem.NewSigner(keySeed)
+		srv := dissem.NewServer(id, signer)
+		bus.Attach(srv)
+		servers[id] = srv
+		reg[id] = signer.Public()
+	}
+
+	win, err := core.NewWindowedStore(hops, ec.Retention)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ContinuousResult{}
+	// The sink runs on the replay goroutines (one per HOP): count the
+	// sealed receipts, then publish the epoch as a signed bundle.
+	var nSamples, nAggs atomic.Int64
+	sink := func(hop receipt.HOPID, epoch core.EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+		nSamples.Add(int64(len(samples)))
+		nAggs.Add(int64(len(aggs)))
+		servers[hop].PublishEpoch(uint64(epoch), samples, aggs)
+	}
+	driver, err := core.NewEpochDriver(dep, ec.IntervalNS, sink)
+	if err != nil {
+		return nil, err
+	}
+
+	vc := dep.VerifierConfig()
+	vc.Workers = ec.Workers
+	rolling := core.NewRollingVerifier(dep.Layout(), vc, win, quantile.DefaultQuantiles, cfg.Confidence)
+
+	// Verification pipeline: woken after each segment, it drains the
+	// bus into the windowed store (ingest + seal per bundle), verifies
+	// every interval that every HOP has sealed, and evicts what has
+	// aged out — all while the main loop simulates the next epoch.
+	notify := make(chan struct{}, 1)
+	verifyDone := make(chan error, 1)
+	cursors := make(map[receipt.HOPID]uint64, len(hops))
+	drainAndVerify := func() error {
+		for _, id := range hops {
+			next, err := bus.CollectSince(reg, id, cursors[id], func(b *dissem.Bundle) error {
+				if err := win.IngestBundle(b); err != nil {
+					return err
+				}
+				return win.SealHOP(b.Origin, core.EpochID(b.Epoch))
+			})
+			if err != nil {
+				return err
+			}
+			cursors[id] = next
+			if next > 0 {
+				// Consumed bundles live on in the windowed store; free
+				// the publisher's copies so server memory stays bounded
+				// over an endless epoch stream, like the window's.
+				servers[id].DropThrough(next - 1)
+			}
+		}
+		reps, err := rolling.VerifyReady()
+		for _, rep := range reps {
+			res.Reports = append(res.Reports, rep)
+			res.Violations += rep.Violations()
+			res.MatchedSamples += rep.MatchedSamples()
+			if onEpoch != nil {
+				onEpoch(rep, win.Stats())
+			}
+		}
+		if err != nil {
+			return err
+		}
+		win.Evict()
+		return nil
+	}
+	go func() {
+		for range notify {
+			if err := drainAndVerify(); err != nil {
+				verifyDone <- err
+				// Drain remaining wakeups so the main loop never blocks.
+				for range notify {
+				}
+				return
+			}
+		}
+		verifyDone <- drainAndVerify()
+	}()
+
+	runner, err := netsim.NewRunner(path)
+	if err != nil {
+		return nil, err
+	}
+	observers := driver.Observers()
+	stopped := false
+	for e := 0; e < epochs && !stopped; e++ {
+		if stop != nil {
+			select {
+			case <-stop:
+				stopped = true
+				continue
+			default:
+			}
+		}
+		start := time.Now()
+		horizon := int64(e+1) * ec.IntervalNS
+		chunk := gen.NextChunk(horizon)
+		if _, err := runner.RunSegment(chunk, observers, horizon); err != nil {
+			close(notify)
+			<-verifyDone
+			return nil, err
+		}
+		res.Packets += len(chunk)
+		res.EpochsRun++
+		res.EpochWall = append(res.EpochWall, time.Since(start))
+		select {
+		case notify <- struct{}{}:
+		default: // verifier already has a pending wakeup
+		}
+	}
+	// Deliver the replay observations withheld at the final boundary,
+	// then seal every HOP's terminal epoch.
+	if _, err := runner.Run(nil, observers); err != nil {
+		close(notify)
+		<-verifyDone
+		return nil, err
+	}
+	terminal := driver.Close()
+	res.EpochsSealed = int(terminal) + 1
+	// Clean shutdown: no further epochs will seal, so the terminal
+	// epoch may be verified without waiting for a successor.
+	win.FinishStream()
+	close(notify)
+	if err := <-verifyDone; err != nil {
+		return nil, err
+	}
+	res.SampleReceipts = int(nSamples.Load())
+	res.AggReceipts = int(nAggs.Load())
+
+	res.Window = win.Stats()
+	// Steady-state heap: drop the trace machinery, keep the window.
+	gen = nil
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.HeapAllocBytes = ms.HeapAlloc
+	runtime.KeepAlive(win)
+	return res, nil
+}
+
+// EpochsRow is one line of the continuous-operation experiment — the
+// schema cmd/vpm-bench -run epochs -json emits for BENCH_*.json
+// tracking.
+type EpochsRow struct {
+	Mode           string  `json:"mode"` // "batch" (one-shot) or "continuous"
+	Epochs         int     `json:"epochs"`
+	IntervalMS     float64 `json:"interval_ms"`
+	Retention      int     `json:"retention"`
+	Packets        int     `json:"packets"`
+	SampleReceipts int     `json:"sample_receipts"`
+	AggReceipts    int     `json:"agg_receipts"`
+	MatchedSamples int64   `json:"matched_samples"`
+	Violations     int     `json:"violations"`
+	WallMS         float64 `json:"wall_ms"`
+	EpochsPerSec   float64 `json:"epochs_per_sec"`
+	MeanEpochMS    float64 `json:"mean_epoch_ms"`
+	MaxEpochMS     float64 `json:"max_epoch_ms"`
+	HeapMB         float64 `json:"heap_mb"`
+	SegmentsHeld   int     `json:"segments_held"`
+	SegmentsGCed   uint64  `json:"segments_gced"`
+}
+
+// Epochs measures continuous multi-interval operation on the Fig1
+// workload: the one-shot batch baseline (whole trace, single flush,
+// single verification sweep) against the rotating pipeline at each
+// retention in retentions (default 2). cfg.DurationNS is interpreted
+// as the epoch interval; epochs sets how many intervals to run.
+func Epochs(cfg Config, epochs int, retentions []int) ([]EpochsRow, error) {
+	cfg = cfg.Normalize()
+	if epochs < 1 {
+		epochs = 8
+	}
+	if len(retentions) == 0 {
+		retentions = []int{2}
+	}
+	intervalNS := cfg.DurationNS
+
+	var rows []EpochsRow
+
+	// Batch baseline: the same total trace, one run, one verification
+	// sweep at the end — what the repo did before continuous mode.
+	batch, err := epochsBatchRow(cfg, epochs, intervalNS)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, batch)
+
+	for _, ret := range retentions {
+		ec := core.EpochConfig{IntervalNS: intervalNS, Retention: ret, Workers: 1, Shards: 1}
+		start := time.Now()
+		res, err := RunContinuous(cfg, ec, epochs, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		row := EpochsRow{
+			Mode:           "continuous",
+			Epochs:         res.EpochsRun,
+			IntervalMS:     float64(intervalNS) / 1e6,
+			Retention:      ret,
+			Packets:        res.Packets,
+			SampleReceipts: res.SampleReceipts,
+			AggReceipts:    res.AggReceipts,
+			MatchedSamples: res.MatchedSamples,
+			Violations:     res.Violations,
+			WallMS:         float64(wall.Nanoseconds()) / 1e6,
+			EpochsPerSec:   float64(res.EpochsRun) / wall.Seconds(),
+			HeapMB:         float64(res.HeapAllocBytes) / (1 << 20),
+			SegmentsHeld:   res.Window.Segments,
+			SegmentsGCed:   res.Window.Evicted,
+		}
+		var sum, max time.Duration
+		for _, d := range res.EpochWall {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if n := len(res.EpochWall); n > 0 {
+			row.MeanEpochMS = float64(sum.Nanoseconds()) / float64(n) / 1e6
+			row.MaxEpochMS = float64(max.Nanoseconds()) / 1e6
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// epochsBatchRow runs the one-shot baseline over the same total
+// duration and measures its wall time and post-GC heap with the full
+// store live.
+func epochsBatchRow(cfg Config, epochs int, intervalNS int64) (EpochsRow, error) {
+	row := EpochsRow{Mode: "batch", Epochs: epochs, IntervalMS: float64(intervalNS) / 1e6}
+	tc := trace.Config{
+		Seed:       cfg.Seed,
+		DurationNS: int64(epochs) * intervalNS,
+		Paths:      []trace.PathSpec{trace.DefaultPath(cfg.RatePPS)},
+	}
+	start := time.Now()
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		return row, err
+	}
+	path := netsim.Fig1Path(cfg.Seed + 1000)
+	dep, err := core.NewDeployment(path, tc.Table(), core.DefaultDeployConfig())
+	if err != nil {
+		return row, err
+	}
+	if _, err := path.Run(pkts, dep.Observers()); err != nil {
+		return row, err
+	}
+	dep.Finalize()
+	store := dep.NewStore()
+	for _, proc := range dep.Processors {
+		row.SampleReceipts += len(proc.Samples)
+		row.AggReceipts += len(proc.Aggs)
+	}
+	for _, key := range store.Keys() {
+		v := dep.NewVerifierOn(store, key)
+		for _, lv := range v.VerifyAllLinks() {
+			row.MatchedSamples += int64(lv.MatchedSamples)
+			row.Violations += len(lv.Violations)
+		}
+		if _, err := v.DomainReports(quantile.DefaultQuantiles, cfg.Confidence); err != nil {
+			return row, err
+		}
+	}
+	wall := time.Since(start)
+	row.Packets = len(pkts)
+	row.WallMS = float64(wall.Nanoseconds()) / 1e6
+	row.EpochsPerSec = float64(epochs) / wall.Seconds()
+	// Batch heap: everything — trace, receipts, store — is live until
+	// the sweep ends.
+	pkts = nil
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	row.HeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	row.SegmentsHeld = 1
+	runtime.KeepAlive(store)
+	runtime.KeepAlive(dep)
+	return row, nil
+}
+
+// EpochsRender renders the rows.
+func EpochsRender(rows []EpochsRow, markdown bool) string {
+	header := []string{"Mode", "Epochs", "Interval", "Ret", "Packets", "Receipts", "Matched", "Viol", "ms", "epochs/s", "heap MB", "segs"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Epochs),
+			fmt.Sprintf("%.0fms", r.IntervalMS),
+			fmt.Sprintf("%d", r.Retention),
+			fmt.Sprintf("%d", r.Packets),
+			fmt.Sprintf("%d", r.SampleReceipts+r.AggReceipts),
+			fmt.Sprintf("%d", r.MatchedSamples),
+			fmt.Sprintf("%d", r.Violations),
+			fmt.Sprintf("%.1f", r.WallMS),
+			fmt.Sprintf("%.1f", r.EpochsPerSec),
+			fmt.Sprintf("%.1f", r.HeapMB),
+			fmt.Sprintf("%d", r.SegmentsHeld),
+		})
+	}
+	if markdown {
+		return Markdown(header, body)
+	}
+	return Table(header, body)
+}

@@ -239,20 +239,118 @@ type hopObservation struct {
 // Distinct observers are called concurrently (one goroutine per
 // observer, bounded by a worker pool); each individual observer still
 // sees its observations from a single goroutine, in arrival order.
+//
+// Run is the one-shot form: it derives fresh jitter state from the
+// path seed on every call. Continuous operation feeds the path in
+// epoch-sized segments through a Runner instead, whose state persists
+// across segments so the concatenated stream behaves like one run.
 func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (*Result, error) {
+	r, err := NewRunner(p)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(pkts, observers)
+}
+
+// Runner drives traffic across a path in consecutive segments while
+// behaving exactly like one uninterrupted Run over the concatenated
+// trace. Two mechanisms make the equivalence hold:
+//
+//   - All per-path randomness state persists between calls: the jitter
+//     RNG streams (created once, from the path seed) and the stateful
+//     loss and congestion processes attached to the Path. Per-packet
+//     drop/delay decisions depend only on the packet sequence, so
+//     segmentation never changes them.
+//   - Replay withholding: a packet sent near the end of a segment
+//     arrives at downstream HOPs after packets of the next segment
+//     have started arriving, so replaying each segment to completion
+//     would deliver those observations out of arrival order. RunSegment
+//     therefore withholds, per HOP, every observation that could still
+//     interleave with a future packet (observation time past the
+//     segment horizon plus the HOP's minimum observation delay) and
+//     merges it into the next segment's arrival-ordered replay. The
+//     delivered stream is identical, observation for observation, to a
+//     one-shot run's (TestRunnerSegmentsMatchOneShot) — which is what
+//     lets the continuous pipeline's receipts match batch receipts
+//     exactly.
+type Runner struct {
+	p          *Path
+	jitterRngs []*stats.RNG
+	linkRngs   []*stats.RNG
+	// minObsNS is each HOP's minimum observation delay after a
+	// packet's send time: propagation + base transit (jitter,
+	// congestion and queueing only add) plus the HOP's clock skew.
+	minObsNS []int64
+	// pending holds each HOP's withheld observations (packet values
+	// copied out of the dead segment slice), time-sorted.
+	pending [][]pendingObs
+}
+
+// pendingObs is one withheld observation, self-contained.
+type pendingObs struct {
+	pkt    packet.Packet
+	digest uint64
+	timeNS int64
+}
+
+// NewRunner validates the path and prepares its persistent simulation
+// state.
+func NewRunner(p *Path) (*Runner, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	nHops := p.NumHOPs()
 	rng := stats.NewRNG(p.Seed ^ 0xabcdef)
-	jitterRngs := make([]*stats.RNG, len(p.Domains))
-	linkRngs := make([]*stats.RNG, len(p.Links))
-	for i := range jitterRngs {
-		jitterRngs[i] = rng.Split()
+	nHops := p.NumHOPs()
+	r := &Runner{
+		p:          p,
+		jitterRngs: make([]*stats.RNG, len(p.Domains)),
+		linkRngs:   make([]*stats.RNG, len(p.Links)),
+		minObsNS:   make([]int64, nHops+1),
+		pending:    make([][]pendingObs, nHops+1),
 	}
-	for i := range linkRngs {
-		linkRngs[i] = rng.Split()
+	for i := range r.jitterRngs {
+		r.jitterRngs[i] = rng.Split()
 	}
+	for i := range r.linkRngs {
+		r.linkRngs[i] = rng.Split()
+	}
+	// Minimum cumulative delay to each HOP, in path order.
+	t := int64(0)
+	for d := range p.Domains {
+		in, eg := p.HOPsOf(d)
+		if d > 0 {
+			t += p.Links[d-1].DelayNS
+		}
+		r.minObsNS[in] = t + p.Domains[d].IngressSkewNS
+		if eg != in {
+			t += p.Domains[d].BaseDelayNS
+			r.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
+		} else if d == 0 {
+			r.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
+		}
+	}
+	return r, nil
+}
+
+// Run drives one final (or sole) segment of traffic: every
+// observation, including any withheld by earlier RunSegment calls, is
+// delivered. Equivalent to RunSegment with an unbounded horizon; call
+// with an empty packet slice to flush withheld observations after an
+// early stop.
+func (r *Runner) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (*Result, error) {
+	return r.RunSegment(pkts, observers, int64(1)<<62)
+}
+
+// RunSegment drives one segment of traffic (in send order) across the
+// path and returns that segment's ground truth. horizonNS promises
+// that every future packet is sent at or after it; observations that
+// could interleave with such packets are withheld and delivered by the
+// next call, keeping each HOP's replay in global arrival order across
+// segments.
+func (r *Runner) RunSegment(pkts []packet.Packet, observers map[receipt.HOPID]Observer, horizonNS int64) (*Result, error) {
+	p := r.p
+	nHops := p.NumHOPs()
+	jitterRngs, linkRngs := r.jitterRngs, r.linkRngs
 
 	res := &Result{
 		Sent:      len(pkts),
@@ -371,21 +469,59 @@ func (p *Path) Run(pkts []packet.Packet, observers map[receipt.HOPID]Observer) (
 			for _, hop := range g.hops {
 				events := obsPerHop[hop]
 				sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
-				for off := 0; off < len(events); off += ReplayBatchSize {
-					end := off + ReplayBatchSize
-					if end > len(events) {
-						end = len(events)
-					}
-					batch = batch[:0]
-					for _, e := range events[off:end] {
-						batch = append(batch, Observation{
-							Pkt:    &pkts[e.pktIdx],
-							Digest: digests[e.pktIdx],
-							TimeNS: e.timeNS,
-						})
-					}
-					Deliver(g.obs, batch)
+				// Everything observable past the cutoff could still
+				// interleave with a future packet's observation: hold
+				// it back for the next segment's merge. Ties at the
+				// cutoff are safe to deliver — a future observation at
+				// the same timestamp sorts after them (stable order is
+				// insertion order, and future packets insert later).
+				cutoff := horizonNS + r.minObsNS[hop]
+				pend := r.pending[hop]
+				pn := len(pend)
+				for pn > 0 && pend[pn-1].timeNS > cutoff {
+					pn--
 				}
+				en := len(events)
+				for en > 0 && events[en-1].timeNS > cutoff {
+					en--
+				}
+				// Merge the two time-sorted deliverable runs, pending
+				// first on ties (earlier insertion order).
+				batch = batch[:0]
+				pi, ei := 0, 0
+				for pi < pn || ei < en {
+					if pi < pn && (ei >= en || pend[pi].timeNS <= events[ei].timeNS) {
+						po := &pend[pi]
+						batch = append(batch, Observation{Pkt: &po.pkt, Digest: po.digest, TimeNS: po.timeNS})
+						pi++
+					} else {
+						e := events[ei]
+						batch = append(batch, Observation{Pkt: &pkts[e.pktIdx], Digest: digests[e.pktIdx], TimeNS: e.timeNS})
+						ei++
+					}
+					if len(batch) == ReplayBatchSize {
+						Deliver(g.obs, batch)
+						batch = batch[:0]
+					}
+				}
+				if len(batch) > 0 {
+					Deliver(g.obs, batch)
+					batch = batch[:0]
+				}
+				// Withheld observations outlive this segment's packet
+				// slice: copy them out. The concatenation is NOT sorted
+				// — an old pending observation delayed by congestion
+				// can carry a later timestamp than a newly withheld one
+				// — so the stable sort below is load-bearing: it
+				// restores time order while keeping pending entries
+				// ahead of new ones on ties (their insertion order).
+				rest := pend[:0]
+				rest = append(rest, pend[pn:]...)
+				for _, e := range events[en:] {
+					rest = append(rest, pendingObs{pkt: pkts[e.pktIdx], digest: digests[e.pktIdx], timeNS: e.timeNS})
+				}
+				sort.SliceStable(rest, func(a, b int) bool { return rest[a].timeNS < rest[b].timeNS })
+				r.pending[hop] = rest
 			}
 		}()
 	}

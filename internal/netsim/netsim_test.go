@@ -417,3 +417,133 @@ func BenchmarkRunFig1(b *testing.B) {
 		}
 	}
 }
+
+// lossyCongestedFig1 builds a Fig1 path with stateful loss and
+// congestion inside X, so the Runner's state-persistence claim is
+// exercised against every kind of simulation state, not just jitter
+// RNGs.
+func lossyCongestedFig1(t *testing.T, seed uint64) *Path {
+	t.Helper()
+	p := Fig1Path(seed)
+	xi := p.DomainIndex("X")
+	ge, err := lossmodel.FromTargetLoss(0.05, 8, stats.NewRNG(seed+13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Domains[xi].Loss = ge
+	q, err := delaymodel.New(delaymodel.BurstyUDPScenario(seed + 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Domains[xi].Delay = q
+	return p
+}
+
+// TestRunnerSegmentsMatchOneShot: driving a trace through a Runner in
+// epoch-sized segments makes exactly the per-packet drop and delay
+// decisions of a single Run — the property continuous operation's
+// segment loop relies on. (Only replay delivery grouping differs:
+// observations are replayed per segment, so each HOP's multiset of
+// observations is compared, not its delivery order.)
+func TestRunnerSegmentsMatchOneShot(t *testing.T) {
+	pkts := testTrace(t, 20_000, int64(2e8))
+
+	oneObs, oneRecs := allRecorders(Fig1Path(0)) // shape only
+	oneShot := lossyCongestedFig1(t, 33)
+	resOne, err := oneShot.Run(pkts, oneObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	segPath := lossyCongestedFig1(t, 33)
+	runner, err := NewRunner(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segObs, segRecs := allRecorders(segPath)
+	var merged []*Result
+	const segments = 4
+	per := (len(pkts) + segments - 1) / segments
+	for lo := 0; lo < len(pkts); lo += per {
+		hi := lo + per
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		var res *Result
+		var err error
+		if hi < len(pkts) {
+			// The next segment's packets are all sent at or after the
+			// first one's send time — the honest horizon.
+			res, err = runner.RunSegment(pkts[lo:hi], segObs, pkts[hi].SentAt)
+		} else {
+			res, err = runner.Run(pkts[lo:hi], segObs)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, res)
+	}
+
+	// Ground truth must agree exactly once the segments are summed.
+	var sent, delivered int
+	drops := make([]uint64, len(oneShot.Links))
+	perDomain := make([]DomainTruth, len(resOne.Domains))
+	for i := range perDomain {
+		perDomain[i].Name = resOne.Domains[i].Name
+	}
+	for _, res := range merged {
+		sent += res.Sent
+		delivered += res.Delivered
+		for i, d := range res.LinkDrops {
+			drops[i] += d
+		}
+		for i, d := range res.Domains {
+			perDomain[i].In += d.In
+			perDomain[i].Out += d.Out
+			perDomain[i].DroppedInside += d.DroppedInside
+			perDomain[i].TrueDelaysNS = append(perDomain[i].TrueDelaysNS, d.TrueDelaysNS...)
+		}
+	}
+	if sent != resOne.Sent || delivered != resOne.Delivered {
+		t.Fatalf("sent/delivered differ: segments (%d,%d) one-shot (%d,%d)",
+			sent, delivered, resOne.Sent, resOne.Delivered)
+	}
+	for i := range drops {
+		if drops[i] != resOne.LinkDrops[i] {
+			t.Fatalf("link %d drops differ: %d vs %d", i, drops[i], resOne.LinkDrops[i])
+		}
+	}
+	for i, d := range perDomain {
+		o := resOne.Domains[i]
+		if d.In != o.In || d.Out != o.Out || d.DroppedInside != o.DroppedInside {
+			t.Fatalf("domain %s truth differs: segments %+v one-shot In=%d Out=%d Dropped=%d",
+				d.Name, d, o.In, o.Out, o.DroppedInside)
+		}
+		if len(d.TrueDelaysNS) != len(o.TrueDelaysNS) {
+			t.Fatalf("domain %s delay count differs: %d vs %d", d.Name, len(d.TrueDelaysNS), len(o.TrueDelaysNS))
+		}
+		for j := range d.TrueDelaysNS {
+			if d.TrueDelaysNS[j] != o.TrueDelaysNS[j] {
+				t.Fatalf("domain %s delay %d differs", d.Name, j)
+			}
+		}
+	}
+
+	// Every HOP saw the identical observation sequence — same packets,
+	// same times, same delivery order. Replay withholding is what makes
+	// this exact: boundary-overlap observations are merged into the
+	// next segment's arrival-ordered replay instead of being delivered
+	// early.
+	for hop, one := range oneRecs {
+		seg := segRecs[hop]
+		if len(one.ids) != len(seg.ids) {
+			t.Fatalf("%v observation count differs: %d vs %d", hop, len(one.ids), len(seg.ids))
+		}
+		for i := range one.ids {
+			if one.ids[i] != seg.ids[i] || one.times[i] != seg.times[i] {
+				t.Fatalf("%v observation %d differs: one-shot (%x, %d) segmented (%x, %d)",
+					hop, i, one.ids[i], one.times[i], seg.ids[i], seg.times[i])
+			}
+		}
+	}
+}

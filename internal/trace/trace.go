@@ -97,6 +97,11 @@ type pathState struct {
 type Generator struct {
 	cfg   Config
 	paths []*pathState
+
+	// pending holds a packet pulled past a NextChunk limit, waiting
+	// for the next call.
+	pending    packet.Packet
+	hasPending bool
 }
 
 // NewGenerator validates cfg and prepares a deterministic generator.
@@ -198,6 +203,10 @@ func packetSize(r *stats.RNG) uint16 {
 // Next fills p with the next packet in global time order and returns
 // true, or returns false when the configured duration is exhausted.
 func (g *Generator) Next(p *packet.Packet) bool {
+	if g.hasPending {
+		*p, g.hasPending = g.pending, false
+		return true
+	}
 	// Pick the path with the earliest next arrival.
 	var best *pathState
 	for _, ps := range g.paths {
@@ -210,6 +219,25 @@ func (g *Generator) Next(p *packet.Packet) bool {
 	}
 	best.emit(p)
 	return true
+}
+
+// NextChunk pulls every remaining packet sent before limitNS — the
+// epoch-sized slice a continuous pipeline feeds per interval. The
+// packet stream is identical to draining Next packet by packet:
+// NextChunk just cuts it at send-time boundaries (the first packet at
+// or past the limit is held back for the next call). Returns nil when
+// the stream has no packets before the limit.
+func (g *Generator) NextChunk(limitNS int64) []packet.Packet {
+	var out []packet.Packet
+	var p packet.Packet
+	for g.Next(&p) {
+		if p.SentAt >= limitNS {
+			g.pending, g.hasPending = p, true
+			break
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // emit writes the path's next packet into p and advances path state.

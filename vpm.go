@@ -55,6 +55,26 @@
 // answered by a binary search over each index's cached marker
 // timeline instead of a scan over all of a HOP's samples.
 //
+// # Continuous operation
+//
+// The pipeline also runs continuously, over a stream of rotating
+// epochs (reporting intervals), instead of as a one-shot batch. An
+// EpochDriver wraps every collector of a Deployment in an epoch clock:
+// when a HOP's observation timestamps cross an interval boundary the
+// collector rotates (RotateInterval), sealing the receipts finalized
+// during the closing epoch without disturbing open state — an
+// aggregate spanning the boundary keeps counting and lands in the
+// epoch where it closes, so the concatenated epoch stream is
+// byte-identical to a one-shot run's receipts. Sealed epochs flow
+// (optionally as epoch-tagged signed bundles, BundleServer.PublishEpoch)
+// into a WindowedStore — one ReceiptStore segment per epoch — and a
+// RollingVerifier verifies each epoch as soon as every HOP has sealed
+// it, concurrently with ingest of the next, while verified epochs
+// older than the retention window are evicted (unverified epochs
+// never are). Traffic segments come from TraceGenerator.NextChunk and
+// a SimRunner, whose network state persists across segments. See
+// examples/continuous and cmd/vpm-node.
+//
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	pkts, _ := vpm.GenerateTrace(vpm.TraceConfig{
@@ -353,3 +373,69 @@ func NewBundleSigner(seed [32]byte) *BundleSigner { return dissem.NewSigner(seed
 
 // NewBundleServer builds a bundle publisher for one HOP.
 func NewBundleServer(hop HOPID, s *BundleSigner) *BundleServer { return dissem.NewServer(hop, s) }
+
+// NewReceiptBus builds an in-memory signed-bundle bus (the sockets-free
+// dissemination transport for simulations).
+func NewReceiptBus() *ReceiptBus { return dissem.NewBus() }
+
+// Continuous operation.
+type (
+	// EpochID is the ordinal of one reporting interval.
+	EpochID = core.EpochID
+	// EpochConfig parameterizes continuous multi-interval operation.
+	EpochConfig = core.EpochConfig
+	// EpochSink receives one HOP's sealed epoch.
+	EpochSink = core.EpochSink
+	// EpochCollector wraps one collector in an epoch clock.
+	EpochCollector = core.EpochCollector
+	// EpochDriver runs a whole Deployment continuously.
+	EpochDriver = core.EpochDriver
+	// WindowedStore holds one ReceiptStore segment per epoch with
+	// retention-based eviction.
+	WindowedStore = core.WindowedStore
+	// WindowStats is a WindowedStore occupancy snapshot.
+	WindowStats = core.WindowStats
+	// EpochReport is the rolling verifier's per-epoch delta.
+	EpochReport = core.EpochReport
+	// EpochKeyReport is one traffic key's outcome within an epoch.
+	EpochKeyReport = core.EpochKeyReport
+	// RollingVerifier verifies sealed epochs as they become ready.
+	RollingVerifier = core.RollingVerifier
+	// ReceiptBus is the in-memory dissemination transport.
+	ReceiptBus = dissem.Bus
+	// SimRunner drives a path in consecutive segments with persistent
+	// network state.
+	SimRunner = netsim.Runner
+	// TraceGenerator is the pull-based synthetic packet source;
+	// NextChunk slices its stream at epoch boundaries.
+	TraceGenerator = trace.Generator
+)
+
+// NewEpochCollector wraps a collector in an epoch clock of the given
+// interval feeding sink.
+func NewEpochCollector(col PathCollector, intervalNS int64, sink EpochSink) (*EpochCollector, error) {
+	return core.NewEpochCollector(col, intervalNS, sink)
+}
+
+// NewEpochDriver wraps every collector of a deployment in an epoch
+// clock sharing one interval and sink.
+func NewEpochDriver(dep *Deployment, intervalNS int64, sink EpochSink) (*EpochDriver, error) {
+	return core.NewEpochDriver(dep, intervalNS, sink)
+}
+
+// NewWindowedStore builds a per-epoch receipt store expecting seals
+// from the given HOPs and retaining `retention` verified epochs.
+func NewWindowedStore(hops []HOPID, retention int) (*WindowedStore, error) {
+	return core.NewWindowedStore(hops, retention)
+}
+
+// NewRollingVerifier builds a rolling verifier over a windowed store.
+func NewRollingVerifier(layout Layout, cfg VerifierConfig, win *WindowedStore, quantiles []float64, confidence float64) *RollingVerifier {
+	return core.NewRollingVerifier(layout, cfg, win, quantiles, confidence)
+}
+
+// NewSimRunner prepares a path for segmented continuous simulation.
+func NewSimRunner(p *Path) (*SimRunner, error) { return netsim.NewRunner(p) }
+
+// NewTraceGenerator builds a pull-based trace generator.
+func NewTraceGenerator(cfg TraceConfig) (*TraceGenerator, error) { return trace.NewGenerator(cfg) }
