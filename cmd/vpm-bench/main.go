@@ -72,8 +72,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify or epochs"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs or attacks"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -154,12 +154,41 @@ func main() {
 	}
 	if wanted("attacks") {
 		ran = true
-		section("§3/§5 — protocol × adversary ablation")
-		rows, err := experiments.Attacks(cfg)
+		matrix, err := experiments.AttackMatrix(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprint(w, experiments.AttacksRender(rows, *markdown))
+		if *jsonOut {
+			// The scenario-coverage trajectory document (BENCH_4.json
+			// and onward): every adversary × mode with its verdict and
+			// blame, plus the cross-protocol ablation for context.
+			ablation, err := experiments.Attacks(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			doc := struct {
+				Experiment string                  `json:"experiment"`
+				Seed       uint64                  `json:"seed"`
+				RatePPS    float64                 `json:"rate_pps"`
+				DurationNS int64                   `json:"duration_ns"`
+				Rows       []experiments.MatrixRow `json:"rows"`
+				Ablation   []experiments.AttackRow `json:"ablation"`
+			}{"attacks", cfg.Seed, cfg.RatePPS, cfg.DurationNS, matrix, ablation}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("§3/§5 — protocol × adversary ablation")
+			rows, err := experiments.Attacks(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprint(w, experiments.AttacksRender(rows, *markdown))
+			section("Byzantine HOP matrix — adversary × pipeline mode")
+			fmt.Fprint(w, experiments.MatrixRender(matrix, *markdown))
+		}
 	}
 	if wanted("throughput") {
 		ran = true

@@ -13,16 +13,22 @@
 //	vpm-node [-epochs 8] [-interval 250ms] [-rate 50000] [-seed 1]
 //	         [-retention 2] [-shards 1] [-workers 1] [-json] [-quiet]
 //
-// SIGINT stops cleanly at the next epoch boundary. The process exits 0
-// iff every started epoch was verified and shut down cleanly.
+// SIGINT or SIGTERM stops cleanly at the next epoch boundary (systemd
+// and docker stop send SIGTERM; treating it like SIGINT is what makes
+// the daemon's epoch-boundary shutdown reachable in production — see
+// docs/OPERATIONS.md). A second signal aborts immediately via context
+// cancellation. The process exits 0 iff every started epoch was
+// verified and shut down cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"vpm/internal/core"
@@ -54,14 +60,22 @@ func main() {
 		fatal(err)
 	}
 
-	// SIGINT: finish the epoch in flight, verify it, summarize, exit 0.
+	// First SIGINT/SIGTERM: finish the epoch in flight, verify it,
+	// summarize, exit 0. A second signal cancels the context, which
+	// aborts the collection loop mid-epoch (exit non-zero) — the
+	// escape hatch when a clean boundary never comes.
 	stop := make(chan struct{})
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
-		fmt.Fprintln(os.Stderr, "vpm-node: interrupt — stopping at the next epoch boundary")
+		fmt.Fprintln(os.Stderr, "vpm-node: signal — stopping at the next epoch boundary")
 		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vpm-node: second signal — aborting")
+		cancel()
 	}()
 
 	onEpoch := func(rep core.EpochReport, ws core.WindowStats) {
@@ -84,7 +98,11 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := experiments.RunContinuous(cfg, ec, *epochs, onEpoch, stop)
+	res, err := experiments.RunContinuousOpts(cfg, ec, *epochs, experiments.ContinuousOptions{
+		OnEpoch: onEpoch,
+		Stop:    stop,
+		Ctx:     ctx,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMCleanShutdown is the regression test for the daemon dying
+// mid-epoch under systemd/docker stop: SIGTERM (not just SIGINT) must
+// take the clean epoch-boundary shutdown path — finish the epoch in
+// flight, verify every sealed epoch, and exit 0.
+func TestSIGTERMCleanShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vpm-node binary")
+	}
+	bin := filepath.Join(t.TempDir(), "vpm-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Enough epochs that the run is guaranteed to still be in flight
+	// when the signal lands.
+	cmd := exec.Command(bin, "-epochs", "100000", "-interval", "50ms", "-rate", "20000", "-quiet")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("vpm-node exited non-zero after SIGTERM: %v\nstdout:\n%s\nstderr:\n%s",
+				err, stdout.String(), stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("vpm-node did not shut down within 30s of SIGTERM\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "clean shutdown") {
+		t.Fatalf("no clean-shutdown line after SIGTERM:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "stopping at the next epoch boundary") {
+		t.Fatalf("signal handler did not announce the boundary stop:\n%s", stderr.String())
+	}
+}

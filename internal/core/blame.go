@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vpm/internal/receipt"
+)
+
+// This file turns raw verification outcomes into blame attributions:
+// each finding names the *narrowest* implicated link/domain set the
+// evidence supports and classifies the evidence itself. The paper's
+// §3.1 argument is exactly this shape — a receipt inconsistency at an
+// inter-domain link implicates the two adjacent domains and no one
+// else ("the liar is exposed to the neighbor it implicated"), while
+// dissemination-layer misbehavior (a bad signature, a replayed epoch,
+// two contradictory signed bundles) is self-incriminating and narrows
+// the blame to the single origin HOP.
+
+// EvidenceClass classifies the proof behind one blame finding.
+type EvidenceClass int
+
+// The evidence classes a verifier can hold against a domain.
+const (
+	// EvMissingReceipt: sample records expected under the advertised
+	// thresholds are absent in one direction (fabrication,
+	// suppression, under-reporting, or genuine link loss).
+	EvMissingReceipt EvidenceClass = iota
+	// EvInconsistentAggregate: the two ends of a link report different
+	// packet counts for the same aggregate.
+	EvInconsistentAggregate
+	// EvDelayBound: a matched sample's link delta exceeds the
+	// advertised MaxDiff (delay under-reporting, or a broken clock).
+	EvDelayBound
+	// EvMaxDiffMismatch: the two ends advertise different MaxDiff
+	// bounds for their shared link.
+	EvMaxDiffMismatch
+	// EvMarkerBias: the predictable marker samples transit
+	// systematically faster than the unpredictable σ-keyed samples —
+	// impossible for honest treatment of a uniform hash subsample.
+	EvMarkerBias
+	// EvSignature: a bundle failed authentication against the origin's
+	// registered key.
+	EvSignature
+	// EvEpochReplay: a validly signed bundle arrived for a (HOP,
+	// epoch) that was already sealed — a stale replay or duplicate.
+	EvEpochReplay
+	// EvWithheldBundle: an expected HOP never published an epoch's
+	// bundle, leaving the epoch permanently unverifiable.
+	EvWithheldBundle
+	// EvBundleGap: a publisher pruned bundles a lagging cursor had not
+	// consumed — receipts are permanently missing.
+	EvBundleGap
+	// EvEquivocation: the same origin served two validly signed,
+	// mismatched bundles for the same sequence number to different
+	// verifiers — non-repudiable proof of lying.
+	EvEquivocation
+)
+
+// String names the evidence class.
+func (e EvidenceClass) String() string {
+	switch e {
+	case EvMissingReceipt:
+		return "missing-receipt"
+	case EvInconsistentAggregate:
+		return "inconsistent-aggregate"
+	case EvDelayBound:
+		return "delay-bound"
+	case EvMaxDiffMismatch:
+		return "maxdiff-mismatch"
+	case EvMarkerBias:
+		return "marker-bias"
+	case EvSignature:
+		return "signature"
+	case EvEpochReplay:
+		return "epoch-replay"
+	case EvWithheldBundle:
+		return "withheld-bundle"
+	case EvBundleGap:
+		return "bundle-gap"
+	case EvEquivocation:
+		return "equivocation"
+	default:
+		return fmt.Sprintf("evidence(%d)", int(e))
+	}
+}
+
+// Blame is one attribution: the narrowest implicated HOP/domain set
+// for one class of evidence in one epoch.
+type Blame struct {
+	// Epoch the implicated claims were sealed in (0 in batch mode).
+	Epoch EpochID
+	// Evidence classifies the proof.
+	Evidence EvidenceClass
+	// LinkID is the implicated link's ordinal along the path
+	// (Layout.Links order), or -1 when the evidence implicates HOPs
+	// directly rather than through a link check.
+	LinkID int
+	// HOPs is the narrowest implicated HOP set: the two ends of a link
+	// for receipt inconsistencies, the single origin for
+	// dissemination-layer evidence.
+	HOPs []receipt.HOPID
+	// Domains names the domains owning those HOPs.
+	Domains []string
+	// Count is the number of supporting violations or events.
+	Count int
+	// Detail elaborates the first supporting finding.
+	Detail string
+}
+
+// String renders the blame finding.
+func (b Blame) String() string {
+	who := make([]string, len(b.HOPs))
+	for i, h := range b.HOPs {
+		who[i] = h.String()
+	}
+	return fmt.Sprintf("epoch %d: %s ×%d implicates {%s} (%s)",
+		b.Epoch, b.Evidence, b.Count, strings.Join(who, ","), strings.Join(b.Domains, ","))
+}
+
+// LinkDomains returns the names of the two domains adjacent to the
+// given link ordinal (Layout.Links order). Link segment names are
+// "A-B" by construction (Deployment.Layout), so the pair is recovered
+// from the name; ok is false for an out-of-range ordinal.
+func (l Layout) LinkDomains(linkID int) (up, down string, ok bool) {
+	links := l.Links()
+	if linkID < 0 || linkID >= len(links) {
+		return "", "", false
+	}
+	parts := strings.SplitN(links[linkID].Name, "-", 2)
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+// evidenceOf maps a receipt inconsistency kind onto its evidence
+// class.
+func evidenceOf(k receipt.InconsistencyKind) EvidenceClass {
+	switch k {
+	case receipt.MaxDiffMismatch:
+		return EvMaxDiffMismatch
+	case receipt.DelayBound:
+		return EvDelayBound
+	case receipt.CountMismatch:
+		return EvInconsistentAggregate
+	default: // MissingDownstream, MissingUpstream
+		return EvMissingReceipt
+	}
+}
+
+// AttributeBlame condenses link verdicts into blame findings: one
+// finding per (link, evidence class) with a violation, each naming the
+// two HOPs at the link's ends and their owning domains — the
+// narrowest set a single-link inconsistency can implicate (§3.1).
+// Findings are ordered by (LinkID, Evidence), so attribution is as
+// deterministic as the verdicts it summarizes.
+func AttributeBlame(layout Layout, epoch EpochID, verdicts []LinkVerdict) []Blame {
+	var out []Blame
+	for _, lv := range verdicts {
+		if lv.Consistent() {
+			continue
+		}
+		byClass := make(map[EvidenceClass]*Blame)
+		var order []EvidenceClass
+		for _, v := range lv.Violations {
+			ev := evidenceOf(v.Kind)
+			b, ok := byClass[ev]
+			if !ok {
+				up, down, _ := layout.LinkDomains(lv.LinkID)
+				b = &Blame{
+					Epoch:    epoch,
+					Evidence: ev,
+					LinkID:   lv.LinkID,
+					HOPs:     []receipt.HOPID{lv.Up, lv.Down},
+					Domains:  []string{up, down},
+					Detail:   v.String(),
+				}
+				byClass[ev] = b
+				order = append(order, ev)
+			}
+			b.Count++
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, ev := range order {
+			out = append(out, *byClass[ev])
+		}
+	}
+	return out
+}
+
+// BlameMarkerBias builds the attribution for a suspicious marker-bias
+// verdict on one domain segment: the implicated set is the domain's
+// own HOP pair — the bias is computed from the domain's ingress/egress
+// delta, so no neighbor shares the blame.
+func BlameMarkerBias(epoch EpochID, seg Segment, rep MarkerBiasReport) Blame {
+	return Blame{
+		Epoch:    epoch,
+		Evidence: EvMarkerBias,
+		LinkID:   -1,
+		HOPs:     []receipt.HOPID{seg.Up, seg.Down},
+		Domains:  []string{seg.Name},
+		Count:    1,
+		Detail: fmt.Sprintf("domain %s: marker p90 %.3fms vs σ-sample p90 %.3fms",
+			seg.Name, rep.MarkerP90MS, rep.OtherP90MS),
+	}
+}
+
+// BlameHOP builds a direct, single-HOP attribution for
+// dissemination-layer evidence (signature failures, epoch replays,
+// withheld bundles, equivocation): the origin signed — or failed to
+// produce — the offending bundle itself, so no second domain shares
+// the blame.
+func BlameHOP(layout Layout, epoch EpochID, ev EvidenceClass, hop receipt.HOPID, count int, detail string) Blame {
+	return Blame{
+		Epoch:    epoch,
+		Evidence: ev,
+		LinkID:   -1,
+		HOPs:     []receipt.HOPID{hop},
+		Domains:  []string{layout.domainOf(hop)},
+		Count:    count,
+		Detail:   detail,
+	}
+}
+
+// domainOf names the domain owning a HOP, from the layout's domain
+// segments (stub domains own a single HOP and appear only in link
+// names).
+func (l Layout) domainOf(hop receipt.HOPID) string {
+	for _, s := range l.Segments {
+		if s.Kind == DomainSegment && (s.Up == hop || s.Down == hop) {
+			return s.Name
+		}
+	}
+	// Stubs: recover from the adjacent link name.
+	for i, s := range l.Links() {
+		if s.Up == hop {
+			up, _, _ := l.LinkDomains(i)
+			return up
+		}
+		if s.Down == hop {
+			_, down, _ := l.LinkDomains(i)
+			return down
+		}
+	}
+	return ""
+}

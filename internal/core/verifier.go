@@ -101,6 +101,12 @@ type VerifierConfig struct {
 	// GOMAXPROCS, 1 runs serially. Verdicts are byte-identical at any
 	// pool size; only wall-clock time changes.
 	Workers int
+	// BiasChecks makes rolling verification run the marker-bias check
+	// (CheckMarkerBias) per domain per epoch, attaching the verdicts —
+	// and blame for suspicious ones — to each EpochKeyReport. Off by
+	// default: the check needs MarkerThreshold and enough samples per
+	// epoch to judge.
+	BiasChecks bool
 }
 
 // Verifier is a receipt collector for one HOP path: it ingests

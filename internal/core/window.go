@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,25 @@ import (
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
 )
+
+// ErrEvictedEpoch reports receipts arriving for an epoch the window
+// already garbage-collected — in an honest pipeline a lifecycle
+// violation, under attack the signature of a very stale replay.
+var ErrEvictedEpoch = errors.New("core: epoch already evicted")
+
+// StaleSealError reports a bundle arriving for a (HOP, epoch) that HOP
+// already sealed: the publisher promised no further receipts for the
+// interval, so a second bundle is a replayed or duplicated epoch — the
+// evidence class EvEpochReplay, implicating the origin alone.
+type StaleSealError struct {
+	HOP   receipt.HOPID
+	Epoch EpochID
+}
+
+// Error implements error.
+func (e *StaleSealError) Error() string {
+	return fmt.Sprintf("core: %v already sealed epoch %d; late bundle is a stale replay", e.HOP, e.Epoch)
+}
 
 // WindowedStore is the continuous-operation receipt store: one segment
 // of raw receipts per epoch, so the pipeline can verify epoch N (a
@@ -117,7 +137,7 @@ func (w *WindowedStore) segmentLocked(epoch EpochID) (*epochSegment, error) {
 	// Only reached for epochs with no live segment: refuse to open a
 	// fresh one behind the eviction horizon.
 	if epoch < w.minEpoch {
-		return nil, fmt.Errorf("core: epoch %d was already evicted (window starts at %d)", epoch, w.minEpoch)
+		return nil, fmt.Errorf("%w: epoch %d (window starts at %d)", ErrEvictedEpoch, epoch, w.minEpoch)
 	}
 	seg := newEpochSegment()
 	w.segs[epoch] = seg
@@ -157,10 +177,17 @@ func (w *WindowedStore) IngestSealed(hop receipt.HOPID, epoch EpochID, samples [
 // IngestBundle files one epoch-tagged dissemination bundle into its
 // epoch's segment. Pair with SealHOP once a HOP's epoch is known to
 // be complete (with one bundle per sealed epoch, that is on receipt of
-// the bundle itself).
+// the bundle itself). A bundle for a (HOP, epoch) the HOP already
+// sealed is refused with a StaleSealError instead of silently mutating
+// judged evidence — the detection point for replayed or duplicated
+// epochs; a bundle for an evicted epoch is refused with
+// ErrEvictedEpoch.
 func (w *WindowedStore) IngestBundle(b *dissem.Bundle) error {
 	w.mu.Lock()
 	seg, err := w.segmentLocked(EpochID(b.Epoch))
+	if err == nil && seg.sealedBy[b.Origin] {
+		err = &StaleSealError{HOP: b.Origin, Epoch: EpochID(b.Epoch)}
+	}
 	w.mu.Unlock()
 	if err != nil {
 		return err
@@ -220,6 +247,41 @@ func (w *WindowedStore) Ready() []EpochID {
 		if next, ok := w.segs[e+1]; ok && w.sealedLocked(next) {
 			out = append(out, e)
 		} else if w.finished {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MissingSeals returns the expected HOPs that have not sealed the
+// given epoch, in HOP order — the blocking set behind a never-Ready
+// epoch. Under bundle withholding this names the withholder: every
+// other HOP sealed, so the single unsealed origin is the narrowest
+// implicated set.
+func (w *WindowedStore) MissingSeals(epoch EpochID) []receipt.HOPID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seg, ok := w.segs[epoch]
+	var out []receipt.HOPID
+	for _, h := range w.hops {
+		if !ok || !seg.sealedBy[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// UnverifiedEpochs returns the held epochs that have not been
+// verified, ascending — after FinishStream and a final VerifyReady
+// sweep these are exactly the epochs something (a withheld bundle, a
+// missing seal) left permanently unjudgeable.
+func (w *WindowedStore) UnverifiedEpochs() []EpochID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []EpochID
+	for e, seg := range w.segs {
+		if !seg.verified {
 			out = append(out, e)
 		}
 	}
@@ -289,11 +351,24 @@ func (w *WindowedStore) claimsStore(epoch EpochID) (*ReceiptStore, error) {
 }
 
 // tailComplete reports whether nothing can exist beyond epoch+1: the
-// stream has finished and epoch+1 reaches the newest sealed epoch.
+// stream has finished, epoch+1 reaches the newest sealed epoch, and no
+// segment — sealed or not — holds receipts past the evidence window.
+// The last clause matters under bundle withholding: unsealed segments
+// beyond the window mean some HOPs' aggregate streams continue past it
+// while the withholder's stops, and comparing the half-open tail
+// region would smear the withholder's blame across every honest link.
 func (w *WindowedStore) tailComplete(epoch EpochID) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.finished && w.hasSealed && epoch+1 >= w.maxSealed
+	if !w.finished || !w.hasSealed || epoch+1 < w.maxSealed {
+		return false
+	}
+	for e := range w.segs {
+		if e > epoch+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // MarkVerified records that epoch's segment has been verified, making
@@ -371,12 +446,28 @@ func (w *WindowedStore) Stats() WindowStats {
 	return st
 }
 
+// DomainBiasVerdict is one domain's per-epoch marker-bias check
+// outcome (see Verifier.CheckMarkerBias); produced only when the
+// verifier's config enables BiasChecks and the epoch held enough
+// samples to judge.
+type DomainBiasVerdict struct {
+	Domain string
+	Report MarkerBiasReport
+}
+
 // EpochKeyReport is one traffic key's verification outcome within one
 // epoch.
 type EpochKeyReport struct {
 	Key     packet.PathKey
 	Links   []LinkVerdict
 	Domains []DomainReport
+	// Blames attributes every link violation to its narrowest
+	// implicated HOP/domain set, by evidence class (see AttributeBlame);
+	// empty for a violation-free epoch.
+	Blames []Blame
+	// Bias holds the per-domain marker-bias verdicts when
+	// VerifierConfig.BiasChecks is set.
+	Bias []DomainBiasVerdict
 }
 
 // EpochReport is the rolling verifier's per-epoch delta: every traffic
@@ -488,6 +579,19 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 				return
 			}
 			kr.Domains = append(kr.Domains, dr)
+		}
+		kr.Blames = AttributeBlame(rv.layout, epoch, kr.Links)
+		if rv.cfg.BiasChecks {
+			for _, seg := range rv.layout.DomainSegments() {
+				bias, err := v.CheckMarkerBias(seg.Up, seg.Down)
+				if err != nil {
+					continue // too few samples this epoch to judge
+				}
+				kr.Bias = append(kr.Bias, DomainBiasVerdict{Domain: seg.Name, Report: bias})
+				if bias.Suspicious {
+					kr.Blames = append(kr.Blames, BlameMarkerBias(epoch, seg, bias))
+				}
+			}
 		}
 		rep.Keys[i] = kr
 	})

@@ -7,9 +7,64 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"vpm/internal/receipt"
 )
+
+// BaseHeader is the response header a Server sets on every fetch: the
+// sequence number of the oldest bundle it still retains. A client
+// whose cursor lies below it has permanently missed bundles
+// (DropThrough pruned them) and receives a GapError instead of a
+// silently clamped stream.
+const BaseHeader = "X-VPM-Base"
+
+// ViewerHeader carries the requesting verifier's identity on fetches,
+// so simulations can model per-verifier misbehavior (equivocation).
+// Honest servers ignore it.
+const ViewerHeader = "X-VPM-Viewer"
+
+// DefaultFetchTimeout bounds a fetch when the caller supplies neither
+// an HTTP client nor a context deadline. Without it a single hung HOP
+// server stalls collection forever (http.DefaultClient has no
+// timeout).
+var DefaultFetchTimeout = 30 * time.Second
+
+// GapError reports a cursor fetch reaching into a pruned range: the
+// server's retention base has moved past the requested since, so
+// bundles [Since, Base) are permanently gone. The caller decides
+// whether to resume from Base (accepting the loss) or to treat the
+// origin as having destroyed evidence.
+type GapError struct {
+	Origin      receipt.HOPID
+	Since, Base uint64
+}
+
+// Error implements error.
+func (e *GapError) Error() string {
+	return fmt.Sprintf("dissem: %v pruned bundles [%d, %d); cursor %d cannot be served completely",
+		e.Origin, e.Since, e.Base, e.Since)
+}
+
+// BundleError wraps a per-bundle verification failure with the origin,
+// sequence number and the epoch the publisher tagged the bundle with,
+// so a consumer can classify the evidence (attributed to the right
+// interval) and skip past the poisoned bundle instead of stalling its
+// cursor on it.
+type BundleError struct {
+	Origin receipt.HOPID
+	Seq    uint64
+	Epoch  uint64
+	Err    error
+}
+
+// Error implements error.
+func (e *BundleError) Error() string {
+	return fmt.Sprintf("dissem: bundle %d from %v: %v", e.Seq, e.Origin, e.Err)
+}
+
+// Unwrap exposes the underlying verification failure.
+func (e *BundleError) Unwrap() error { return e.Err }
 
 // Server publishes one HOP's signed receipt bundles over HTTP. Mount
 // it at a path of your choice; GET ?since=N returns all bundles with
@@ -24,6 +79,7 @@ type Server struct {
 	bundles []published
 	base    uint64 // Seq of bundles[0]; earlier bundles were dropped
 	nextSeq uint64
+	tamper  BundleTamper // simulation hook for dissemination attacks
 }
 
 // published is one signed bundle plus the epoch it was tagged with,
@@ -64,6 +120,14 @@ func (s *Server) BundleCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.bundles)
+}
+
+// Base returns the sequence number of the oldest retained bundle —
+// everything below it was pruned by DropThrough.
+func (s *Server) Base() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
 }
 
 // DropThrough discards every retained bundle with Seq <= seq — the
@@ -111,21 +175,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		epochFilter, hasEpoch = v, true
 	}
+	viewer := r.URL.Query().Get("viewer")
+	if viewer == "" {
+		viewer = r.Header.Get(ViewerHeader)
+	}
 	s.mu.RLock()
 	var out []SignedBundle
+	base := s.base
 	start := uint64(0)
 	if since > s.base {
 		start = since - s.base
 	}
 	if start < uint64(len(s.bundles)) {
-		for _, p := range s.bundles[start:] {
+		for i, p := range s.bundles[start:] {
 			if hasEpoch && p.epoch != epochFilter {
 				continue
 			}
-			out = append(out, p.sb)
+			sb := p.sb
+			if s.tamper != nil {
+				var ok bool
+				if sb, ok = s.tamper.Serve(viewer, s.base+start+uint64(i), p.epoch, sb); !ok {
+					continue
+				}
+			}
+			out = append(out, sb)
 		}
 	}
 	s.mu.RUnlock()
+	// The base is always advertised: a cursor below it has permanently
+	// missed bundles, and silently clamping would hide that from the
+	// lagging verifier (Fetch promises all bundles with Seq >= since).
+	w.Header().Set(BaseHeader, strconv.FormatUint(base, 10))
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
 		// Connection-level failure; nothing more to do.
@@ -135,10 +215,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Client fetches and authenticates bundles from HOP servers.
 type Client struct {
-	// HTTP is the underlying client (http.DefaultClient if nil).
+	// HTTP is the underlying client. nil selects a default client with
+	// DefaultFetchTimeout — never the timeout-less http.DefaultClient,
+	// which would let one hung HOP stall collection forever. Context
+	// deadlines on the fetch calls are honored either way.
 	HTTP *http.Client
 	// Registry supplies the verification key per origin HOP.
 	Registry Registry
+	// Viewer optionally identifies this verifier to servers (sent as
+	// the X-VPM-Viewer header); simulations use it to model
+	// per-verifier misbehavior.
+	Viewer string
 }
 
 // Fetch retrieves all bundles with Seq >= since from the HOP server at
@@ -164,9 +251,13 @@ func (c *Client) Fetch(ctx context.Context, baseURL string, origin receipt.HOPID
 // failure or an fn error aborts the stream and is returned; bundles
 // already passed to fn stay consumed (ingest is incremental by
 // design — pair FetchEach with a Verifier whose answers are only read
-// after a successful drain).
+// after a successful drain). When the server advertises a retention
+// base above since (it pruned bundles the cursor never consumed),
+// FetchEach returns a GapError before delivering anything: the caller
+// must decide how to handle the permanently missing bundles rather
+// than silently skipping them.
 func (c *Client) FetchEach(ctx context.Context, baseURL string, origin receipt.HOPID, since uint64, fn func(*Bundle) error) error {
-	return c.fetchEach(ctx, fmt.Sprintf("%s?since=%d", baseURL, since), origin, fn)
+	return c.fetchEach(ctx, fmt.Sprintf("%s?since=%d", baseURL, since), origin, &since, fn)
 }
 
 // FetchEpochEach streams only the bundles the server tagged with the
@@ -176,7 +267,7 @@ func (c *Client) FetchEach(ctx context.Context, baseURL string, origin receipt.H
 // requested epoch so a server cannot smuggle another interval's
 // receipts into the response.
 func (c *Client) FetchEpochEach(ctx context.Context, baseURL string, origin receipt.HOPID, epoch uint64, fn func(*Bundle) error) error {
-	return c.fetchEach(ctx, fmt.Sprintf("%s?epoch=%d", baseURL, epoch), origin, func(b *Bundle) error {
+	return c.fetchEach(ctx, fmt.Sprintf("%s?epoch=%d", baseURL, epoch), origin, nil, func(b *Bundle) error {
 		if b.Epoch != epoch {
 			return fmt.Errorf("dissem: %v sent epoch %d in an epoch-%d fetch", origin, b.Epoch, epoch)
 		}
@@ -185,18 +276,23 @@ func (c *Client) FetchEpochEach(ctx context.Context, baseURL string, origin rece
 }
 
 // fetchEach GETs url and streams each authenticated bundle to fn.
-func (c *Client) fetchEach(ctx context.Context, url string, origin receipt.HOPID, fn func(*Bundle) error) error {
+// since, when non-nil, is the cursor the fetch promised to serve
+// completely; a server base above it becomes a GapError.
+func (c *Client) fetchEach(ctx context.Context, url string, origin receipt.HOPID, since *uint64, fn func(*Bundle) error) error {
 	pub, ok := c.Registry[origin]
 	if !ok {
 		return fmt.Errorf("dissem: no registered key for %v", origin)
 	}
 	hc := c.HTTP
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Timeout: DefaultFetchTimeout}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
+	}
+	if c.Viewer != "" {
+		req.Header.Set(ViewerHeader, c.Viewer)
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -205,6 +301,14 @@ func (c *Client) fetchEach(ctx context.Context, url string, origin receipt.HOPID
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("dissem: %v returned %s", origin, resp.Status)
+	}
+	if since != nil {
+		if h := resp.Header.Get(BaseHeader); h != "" {
+			base, err := strconv.ParseUint(h, 10, 64)
+			if err == nil && base > *since {
+				return &GapError{Origin: origin, Since: *since, Base: base}
+			}
+		}
 	}
 	dec := json.NewDecoder(resp.Body)
 	tok, err := dec.Token()
@@ -275,15 +379,31 @@ func (b *Bus) Collect(reg Registry, origin receipt.HOPID) ([]*Bundle, error) {
 // the previous call and sees every bundle exactly once. The cursor
 // advances only past bundles fn consumed successfully, so retrying
 // with the returned cursor after an error re-delivers the failed
-// bundle (at-least-once).
+// bundle (at-least-once). When the server pruned bundles the cursor
+// never consumed (DropThrough moved its base past since), CollectSince
+// returns a GapError instead of silently skipping the gap; resume from
+// the error's Base to accept the loss explicitly.
 func (b *Bus) CollectSince(reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle) error) (uint64, error) {
+	return b.CollectSinceAs("", reg, origin, since, fn)
+}
+
+// CollectSinceAs is CollectSince with a viewer identity, which
+// simulated per-verifier misbehavior (an Equivocator tamper) keys on.
+func (b *Bus) CollectSinceAs(viewer string, reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle) error) (uint64, error) {
+	s, ok := b.server(origin)
+	if !ok {
+		return since, fmt.Errorf("dissem: HOP %v not on bus", origin)
+	}
+	if base := s.Base(); since < base {
+		return since, &GapError{Origin: origin, Since: since, Base: base}
+	}
 	next := since
-	err := b.collectFrom(reg, origin, since, func(bundle *Bundle) error {
+	err := b.collectFrom(viewer, reg, origin, since, func(bundle *Bundle, seq uint64) error {
 		if err := fn(bundle); err != nil {
 			return err
 		}
-		if bundle.Seq >= next {
-			next = bundle.Seq + 1
+		if seq >= next {
+			next = seq + 1
 		}
 		return nil
 	})
@@ -295,8 +415,10 @@ func (b *Bus) CollectSince(reg Registry, origin receipt.HOPID, since uint64, fn 
 // materializing the full interval. fn runs outside the bus and server
 // locks, so it may ingest into a verifier (or publish elsewhere)
 // freely; a verification failure or fn error aborts the stream.
+// Unlike the cursor-based CollectSince, CollectEach means "everything
+// still retained": bundles pruned by DropThrough are skipped silently.
 func (b *Bus) CollectEach(reg Registry, origin receipt.HOPID, fn func(*Bundle) error) error {
-	return b.collectFrom(reg, origin, 0, fn)
+	return b.collectFrom("", reg, origin, 0, func(bundle *Bundle, _ uint64) error { return fn(bundle) })
 }
 
 // CollectEpochEach streams only the HOP's bundles tagged with the
@@ -304,7 +426,7 @@ func (b *Bus) CollectEach(reg Registry, origin receipt.HOPID, fn func(*Bundle) e
 // learns an interval has closed. Every bundle is still signature-
 // verified before the epoch filter is applied.
 func (b *Bus) CollectEpochEach(reg Registry, origin receipt.HOPID, epoch uint64, fn func(*Bundle) error) error {
-	return b.collectFrom(reg, origin, 0, func(bundle *Bundle) error {
+	return b.collectFrom("", reg, origin, 0, func(bundle *Bundle, _ uint64) error {
 		if bundle.Epoch != epoch {
 			return nil
 		}
@@ -312,13 +434,24 @@ func (b *Bus) CollectEpochEach(reg Registry, origin receipt.HOPID, epoch uint64,
 	})
 }
 
-// collectFrom streams the HOP's verified bundles with Seq >= since to
-// fn. Sequence numbers index the server's log behind its base offset
-// (bundles below the base were dropped by DropThrough and are skipped).
-func (b *Bus) collectFrom(reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle) error) error {
+// server resolves an attached HOP server.
+func (b *Bus) server(origin receipt.HOPID) (*Server, bool) {
 	b.mu.RLock()
+	defer b.mu.RUnlock()
 	s, ok := b.servers[origin]
-	b.mu.RUnlock()
+	return s, ok
+}
+
+// collectFrom streams the HOP's verified bundles at log positions >=
+// since to fn, along with each bundle's server-side sequence number.
+// Sequence numbers index the server's log behind its base offset
+// (bundles below the base were dropped by DropThrough and are
+// skipped — CollectSince surfaces that as a GapError before calling
+// here). A verification failure is returned as a *BundleError naming
+// the origin and sequence, so cursor-based consumers can classify it
+// and skip past the poisoned bundle.
+func (b *Bus) collectFrom(viewer string, reg Registry, origin receipt.HOPID, since uint64, fn func(*Bundle, uint64) error) error {
+	s, ok := b.server(origin)
 	if !ok {
 		return fmt.Errorf("dissem: HOP %v not on bus", origin)
 	}
@@ -337,12 +470,20 @@ func (b *Bus) collectFrom(reg Registry, origin receipt.HOPID, since uint64, fn f
 			return nil
 		}
 		sb := s.bundles[idx].sb
+		epoch := s.bundles[idx].epoch
+		tamper := s.tamper
 		s.mu.RUnlock()
+		if tamper != nil {
+			var serve bool
+			if sb, serve = tamper.Serve(viewer, i, epoch, sb); !serve {
+				continue // withheld: the consumer sees only absence
+			}
+		}
 		bundle, err := Verify(pub, origin, sb)
 		if err != nil {
-			return fmt.Errorf("dissem: bundle %d from %v: %w", i, origin, err)
+			return &BundleError{Origin: origin, Seq: i, Epoch: epoch, Err: err}
 		}
-		if err := fn(bundle); err != nil {
+		if err := fn(bundle, i); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -51,6 +53,95 @@ type ContinuousResult struct {
 	// the run, with the window (but not the trace) still reachable —
 	// the steady-state memory of the pipeline.
 	HeapAllocBytes uint64
+	// Truth is the merged per-domain ground truth across all segments
+	// (counts summed, true delays concatenated).
+	Truth []netsim.DomainTruth
+	// DissemFindings are the dissemination-layer blame findings the
+	// drain loop classified instead of aborting on: signature failures,
+	// stale-epoch replays, pruned-cursor gaps, and — after shutdown —
+	// withheld bundles that left epochs permanently unverifiable.
+	DissemFindings []core.Blame
+	// Unverified lists the epochs still held unverified at shutdown
+	// (empty on an honest run).
+	Unverified []core.EpochID
+}
+
+// hopSigner derives a HOP's deterministic signing key for an
+// experiment seed — the single derivation scheme every pipeline mode
+// and tamper builder shares, so batch and continuous runs of the same
+// scenario always agree on keys.
+func hopSigner(seed uint64, hop receipt.HOPID) *dissem.Signer {
+	var keySeed [32]byte
+	keySeed[0], keySeed[1] = byte(seed), byte(hop)
+	return dissem.NewSigner(keySeed)
+}
+
+// dissemWorld is the signed-bundle substrate of one experiment run:
+// one signing server per HOP on an in-memory bus, every public key
+// registered.
+type dissemWorld struct {
+	bus     *dissem.Bus
+	reg     dissem.Registry
+	servers map[receipt.HOPID]*dissem.Server
+	signers map[receipt.HOPID]*dissem.Signer
+}
+
+// newDissemWorld builds the substrate for the given HOPs with keys
+// from hopSigner(seed, ·).
+func newDissemWorld(seed uint64, hops []receipt.HOPID) *dissemWorld {
+	w := &dissemWorld{
+		bus:     dissem.NewBus(),
+		reg:     make(dissem.Registry, len(hops)),
+		servers: make(map[receipt.HOPID]*dissem.Server, len(hops)),
+		signers: make(map[receipt.HOPID]*dissem.Signer, len(hops)),
+	}
+	for _, id := range hops {
+		signer := hopSigner(seed, id)
+		srv := dissem.NewServer(id, signer)
+		w.bus.Attach(srv)
+		w.servers[id] = srv
+		w.signers[id] = signer
+		w.reg[id] = signer.Public()
+	}
+	return w
+}
+
+// ContinuousOptions parameterizes RunContinuousOpts beyond the basic
+// epoch configuration — the hooks the Byzantine attack matrix uses to
+// corrupt each layer of the pipeline, plus operational knobs.
+type ContinuousOptions struct {
+	// OnEpoch receives each epoch's report as verification completes
+	// (from the verification goroutine).
+	OnEpoch func(core.EpochReport, core.WindowStats)
+	// Stop aborts cleanly at the next epoch boundary when closed.
+	Stop <-chan struct{}
+	// Ctx, when non-nil, hard-aborts the run when cancelled: the epoch
+	// loop stops simulating and the collection/verification loop
+	// returns the context's error. Use Stop for a clean epoch-boundary
+	// shutdown; use Ctx for deadlines and forced aborts — it is
+	// consulted between per-HOP collection drains, so a deadline
+	// bounds the collection loop even when a fetch layer hangs.
+	Ctx context.Context
+	// MutatePath perturbs the Fig1 path (loss, congestion, skew)
+	// before deployment.
+	MutatePath func(*netsim.Path)
+	// Deploy overrides the deployment config (nil: defaults). Shards
+	// still come from the EpochConfig.
+	Deploy *core.DeployConfig
+	// Wear dresses HOPs in data-plane adversaries: each HOP's
+	// observation stream passes through its adversary before the
+	// collector sees it.
+	Wear map[receipt.HOPID]netsim.Adversary
+	// WrapSink interposes control-plane adversaries between the epoch
+	// driver and publication (see core.NewAdversarySink); it receives
+	// the honest publish sink and returns the sink the driver uses.
+	WrapSink func(core.EpochSink) core.EpochSink
+	// Tamper installs dissemination-layer attacks on the named HOPs'
+	// bundle servers.
+	Tamper map[receipt.HOPID]dissem.BundleTamper
+	// BiasChecks enables the per-epoch marker-bias check in rolling
+	// verification.
+	BiasChecks bool
 }
 
 // RunContinuous drives the Fig1 workload over `epochs` rotating
@@ -66,6 +157,16 @@ type ContinuousResult struct {
 // completes (from the verification goroutine). stop, if non-nil,
 // aborts cleanly at the next epoch boundary when closed.
 func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(core.EpochReport, core.WindowStats), stop <-chan struct{}) (*ContinuousResult, error) {
+	return RunContinuousOpts(cfg, ec, epochs, ContinuousOptions{OnEpoch: onEpoch, Stop: stop})
+}
+
+// RunContinuousOpts is RunContinuous with the full option set: path
+// perturbation, per-layer adversaries (data plane, control plane,
+// dissemination), bias checks, and context cancellation. Classified
+// dissemination misbehavior (bad signatures, stale replays, cursor
+// gaps) is recorded as blame findings and skipped rather than aborting
+// the pipeline; only unclassifiable errors fail the run.
+func RunContinuousOpts(cfg Config, ec core.EpochConfig, epochs int, opts ContinuousOptions) (*ContinuousResult, error) {
 	cfg = cfg.Normalize()
 	if err := ec.Validate(); err != nil {
 		return nil, err
@@ -73,6 +174,7 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 	if epochs < 1 {
 		return nil, fmt.Errorf("experiments: need at least one epoch, got %d", epochs)
 	}
+	onEpoch, stop := opts.OnEpoch, opts.Stop
 
 	tc := trace.Config{
 		Seed:       cfg.Seed,
@@ -84,7 +186,13 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 		return nil, err
 	}
 	path := netsim.Fig1Path(cfg.Seed + 1000)
+	if opts.MutatePath != nil {
+		opts.MutatePath(path)
+	}
 	dc := core.DefaultDeployConfig()
+	if opts.Deploy != nil {
+		dc = *opts.Deploy
+	}
 	dc.Shards = ec.Shards
 	dep, err := core.NewDeployment(path, tc.Table(), dc)
 	if err != nil {
@@ -98,17 +206,12 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 		hops = append(hops, id)
 	}
 	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
-	bus := dissem.NewBus()
-	reg := make(dissem.Registry, len(hops))
-	servers := make(map[receipt.HOPID]*dissem.Server, len(hops))
-	for _, id := range hops {
-		var keySeed [32]byte
-		keySeed[0], keySeed[1] = byte(cfg.Seed), byte(id)
-		signer := dissem.NewSigner(keySeed)
-		srv := dissem.NewServer(id, signer)
-		bus.Attach(srv)
-		servers[id] = srv
-		reg[id] = signer.Public()
+	dw := newDissemWorld(cfg.Seed, hops)
+	bus, reg, servers := dw.bus, dw.reg, dw.servers
+	for id, t := range opts.Tamper {
+		if srv, ok := servers[id]; ok {
+			srv.SetTamper(t)
+		}
 	}
 
 	win, err := core.NewWindowedStore(hops, ec.Retention)
@@ -119,45 +222,96 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 	res := &ContinuousResult{}
 	// The sink runs on the replay goroutines (one per HOP): count the
 	// sealed receipts, then publish the epoch as a signed bundle.
+	// Control-plane adversaries wrap this honest sink (WrapSink), so
+	// the counters and the published bundles both reflect what the
+	// lying control planes actually emitted.
 	var nSamples, nAggs atomic.Int64
-	sink := func(hop receipt.HOPID, epoch core.EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	sink := core.EpochSink(func(hop receipt.HOPID, epoch core.EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
 		nSamples.Add(int64(len(samples)))
 		nAggs.Add(int64(len(aggs)))
 		servers[hop].PublishEpoch(uint64(epoch), samples, aggs)
+	})
+	if opts.WrapSink != nil {
+		sink = opts.WrapSink(sink)
 	}
 	driver, err := core.NewEpochDriver(dep, ec.IntervalNS, sink)
 	if err != nil {
 		return nil, err
 	}
 
+	layout := dep.Layout()
 	vc := dep.VerifierConfig()
 	vc.Workers = ec.Workers
-	rolling := core.NewRollingVerifier(dep.Layout(), vc, win, quantile.DefaultQuantiles, cfg.Confidence)
+	vc.BiasChecks = opts.BiasChecks
+	rolling := core.NewRollingVerifier(layout, vc, win, quantile.DefaultQuantiles, cfg.Confidence)
 
 	// Verification pipeline: woken after each segment, it drains the
 	// bus into the windowed store (ingest + seal per bundle), verifies
 	// every interval that every HOP has sealed, and evicts what has
 	// aged out — all while the main loop simulates the next epoch.
+	// Classifiable dissemination misbehavior becomes a blame finding
+	// and the cursor skips past it; only unclassifiable errors abort.
 	notify := make(chan struct{}, 1)
 	verifyDone := make(chan error, 1)
 	cursors := make(map[receipt.HOPID]uint64, len(hops))
+	ctxErr := func() error {
+		if opts.Ctx != nil {
+			return opts.Ctx.Err()
+		}
+		return nil
+	}
 	drainAndVerify := func() error {
 		for _, id := range hops {
-			next, err := bus.CollectSince(reg, id, cursors[id], func(b *dissem.Bundle) error {
-				if err := win.IngestBundle(b); err != nil {
+			if err := ctxErr(); err != nil {
+				return err
+			}
+			consume := func(b *dissem.Bundle) error {
+				err := win.IngestBundle(b)
+				var stale *core.StaleSealError
+				if errors.As(err, &stale) {
+					res.DissemFindings = append(res.DissemFindings,
+						core.BlameHOP(layout, stale.Epoch, core.EvEpochReplay, b.Origin, 1, err.Error()))
+					return nil // consumed: replay evidence recorded
+				}
+				if errors.Is(err, core.ErrEvictedEpoch) {
+					res.DissemFindings = append(res.DissemFindings,
+						core.BlameHOP(layout, core.EpochID(b.Epoch), core.EvEpochReplay, b.Origin, 1, err.Error()))
+					return nil
+				}
+				if err != nil {
 					return err
 				}
 				return win.SealHOP(b.Origin, core.EpochID(b.Epoch))
-			})
-			if err != nil {
+			}
+			cursor := cursors[id]
+			for {
+				next, err := bus.CollectSince(reg, id, cursor, consume)
+				cursor = next
+				if err == nil {
+					break
+				}
+				var be *dissem.BundleError
+				if errors.As(err, &be) {
+					res.DissemFindings = append(res.DissemFindings,
+						core.BlameHOP(layout, core.EpochID(be.Epoch), core.EvSignature, id, 1, err.Error()))
+					cursor = be.Seq + 1 // skip the poisoned bundle
+					continue
+				}
+				var gap *dissem.GapError
+				if errors.As(err, &gap) {
+					res.DissemFindings = append(res.DissemFindings,
+						core.BlameHOP(layout, 0, core.EvBundleGap, id, int(gap.Base-gap.Since), err.Error()))
+					cursor = gap.Base // resume past the pruned range
+					continue
+				}
 				return err
 			}
-			cursors[id] = next
-			if next > 0 {
+			cursors[id] = cursor
+			if cursor > 0 {
 				// Consumed bundles live on in the windowed store; free
 				// the publisher's copies so server memory stays bounded
 				// over an endless epoch stream, like the window's.
-				servers[id].DropThrough(next - 1)
+				servers[id].DropThrough(cursor - 1)
 			}
 		}
 		reps, err := rolling.VerifyReady()
@@ -193,6 +347,25 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 		return nil, err
 	}
 	observers := driver.Observers()
+	for hop, adv := range opts.Wear {
+		if obs, ok := observers[hop]; ok && adv != nil {
+			observers[hop] = netsim.Wear(hop, adv, obs)
+		}
+	}
+	mergeTruth := func(seg *netsim.Result) {
+		if res.Truth == nil {
+			res.Truth = make([]netsim.DomainTruth, len(seg.Domains))
+			for i, d := range seg.Domains {
+				res.Truth[i] = netsim.DomainTruth{Name: d.Name, Ingress: d.Ingress, Egress: d.Egress}
+			}
+		}
+		for i, d := range seg.Domains {
+			res.Truth[i].In += d.In
+			res.Truth[i].Out += d.Out
+			res.Truth[i].DroppedInside += d.DroppedInside
+			res.Truth[i].TrueDelaysNS = append(res.Truth[i].TrueDelaysNS, d.TrueDelaysNS...)
+		}
+	}
 	stopped := false
 	for e := 0; e < epochs && !stopped; e++ {
 		if stop != nil {
@@ -203,14 +376,20 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 			default:
 			}
 		}
+		if ctxErr() != nil {
+			stopped = true
+			continue
+		}
 		start := time.Now()
 		horizon := int64(e+1) * ec.IntervalNS
 		chunk := gen.NextChunk(horizon)
-		if _, err := runner.RunSegment(chunk, observers, horizon); err != nil {
+		segTruth, err := runner.RunSegment(chunk, observers, horizon)
+		if err != nil {
 			close(notify)
 			<-verifyDone
 			return nil, err
 		}
+		mergeTruth(segTruth)
 		res.Packets += len(chunk)
 		res.EpochsRun++
 		res.EpochWall = append(res.EpochWall, time.Since(start))
@@ -237,6 +416,19 @@ func RunContinuous(cfg Config, ec core.EpochConfig, epochs int, onEpoch func(cor
 	}
 	res.SampleReceipts = int(nSamples.Load())
 	res.AggReceipts = int(nAggs.Load())
+
+	// Anything still unverified after the final sweep is permanently
+	// unjudgeable: some HOP never published the epoch's bundle. The
+	// missing seals name the withholder — the narrowest implicated set
+	// for starvation, since every other HOP's bundle arrived.
+	res.Unverified = win.UnverifiedEpochs()
+	for _, e := range res.Unverified {
+		for _, h := range win.MissingSeals(e) {
+			res.DissemFindings = append(res.DissemFindings,
+				core.BlameHOP(layout, e, core.EvWithheldBundle, h, 1,
+					fmt.Sprintf("epoch %d never sealed: no bundle from %v", e, h)))
+		}
+	}
 
 	res.Window = win.Stats()
 	// Steady-state heap: drop the trace machinery, keep the window.

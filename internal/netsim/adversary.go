@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"vpm/internal/hashing"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+)
+
+// This file is the data-plane half of the Byzantine HOP framework: an
+// Adversary a HOP "wears" between the simulator's replay and the HOP's
+// collector, rewriting the observation stream the collector sees. The
+// paper's threat model (§2.1, §3) allows a domain to manipulate what
+// its own HOPs claim to have observed — it cannot touch what *other*
+// HOPs observe, which is exactly why every lie here surfaces as an
+// inter-domain receipt inconsistency (or provably moves the estimate
+// by less than sampling noise). The control-plane half — rewriting
+// sealed receipts after collection — lives in core (EpochAdversary);
+// dissemination-layer attacks live in dissem (BundleTamper).
+
+// Adversary rewrites the observation stream of one HOP. TamperBatch
+// receives each arrival-ordered batch before the HOP's collector and
+// returns what the corrupted HOP records instead: entries may be
+// dropped, timestamps rewritten, or observations injected. The
+// returned batch must be time-ordered (resort after non-uniform time
+// edits) and, like the input, is only valid for the duration of the
+// call. Batches arrive from a single goroutine per HOP, in arrival
+// order, so stateful adversaries need no locking for per-HOP state.
+type Adversary interface {
+	// Name identifies the adversary in reports and matrix rows.
+	Name() string
+	// TamperBatch rewrites one observation batch of the given HOP.
+	TamperBatch(hop receipt.HOPID, batch []Observation) []Observation
+}
+
+// wornObserver feeds every observation through an Adversary before the
+// wrapped observer sees it.
+type wornObserver struct {
+	hop receipt.HOPID
+	adv Adversary
+	obs Observer
+}
+
+// Wear wraps obs so that every observation of hop passes through adv
+// first — the HOP now wears the adversary. The wrapper preserves the
+// batch fast path (the tampered batch is delivered through
+// ObserveBatch when obs supports it) and the single-goroutine replay
+// discipline, so determinism is unchanged: the same traffic yields the
+// same corrupted receipts on every run.
+func Wear(hop receipt.HOPID, adv Adversary, obs Observer) Observer {
+	if adv == nil {
+		return obs
+	}
+	return &wornObserver{hop: hop, adv: adv, obs: obs}
+}
+
+// Observe funnels a single observation through the batch hook.
+func (w *wornObserver) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
+	batch := w.adv.TamperBatch(w.hop, []Observation{{Pkt: pkt, Digest: digest, TimeNS: tNS}})
+	Deliver(w.obs, batch)
+}
+
+// ObserveBatch tampers one arrival-ordered batch and forwards the
+// result.
+func (w *wornObserver) ObserveBatch(batch []Observation) {
+	if out := w.adv.TamperBatch(w.hop, batch); len(out) > 0 {
+		Deliver(w.obs, out)
+	}
+}
+
+// DelayShaver is the delay-under-reporting lie worn at a domain's
+// egress HOP: every observation is reported ShaveNS earlier than it
+// happened, so the domain's ingress→egress delay looks ShaveNS
+// smaller. The uniform shift preserves arrival order — the collector
+// cannot tell — but the *inter-domain* link deltas to the downstream
+// neighbor grow by the same ShaveNS, blowing past the advertised
+// MaxDiff: the lie surfaces as DelayBound violations on the link the
+// liar shares with the neighbor it implicated (§4 rule 2).
+type DelayShaver struct {
+	ShaveNS int64
+}
+
+// Name implements Adversary.
+func (d *DelayShaver) Name() string { return "delay-underreport" }
+
+// TamperBatch shifts every observation ShaveNS earlier, in place.
+func (d *DelayShaver) TamperBatch(_ receipt.HOPID, batch []Observation) []Observation {
+	for i := range batch {
+		batch[i].TimeNS -= d.ShaveNS
+	}
+	return batch
+}
+
+// Suppressor is the observation-suppression lie, worn at an ingress
+// HOP: a deterministic fraction of arriving packets is simply never
+// recorded — the domain pretends they did not arrive, shrinking both
+// its sample receipts and its aggregate counts. The upstream
+// neighbor's egress receipts still claim the deliveries, so the lie
+// surfaces on the upstream link as missing-downstream records and
+// aggregate count mismatches.
+type Suppressor struct {
+	// Fraction of observations to suppress, in [0,1].
+	Fraction float64
+	// Seed drives the deterministic drop decisions.
+	Seed uint64
+
+	rng *stats.RNG
+}
+
+// Name implements Adversary.
+func (s *Suppressor) Name() string { return "suppress-observations" }
+
+// TamperBatch filters the batch in place.
+func (s *Suppressor) TamperBatch(_ receipt.HOPID, batch []Observation) []Observation {
+	if s.rng == nil {
+		s.rng = stats.NewRNG(s.Seed ^ 0x5e1ec7ed)
+	}
+	out := batch[:0]
+	for _, o := range batch {
+		if s.rng.Bool(s.Fraction) {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// MarkerShaver is the marker-flip gaming lie: the one part of VPM's
+// sample set a domain can predict at forwarding time is the marker set
+// (µ is public), so a gaming egress HOP reports *markers* ShaveNS
+// early while leaving the unpredictable σ-keyed samples honest. The
+// per-link deltas of markers stay inside MaxDiff for modest shaves, so
+// the §4 checks pass — but the marker vs σ-sample delay split is
+// statistically impossible for a uniform hash subsample, and
+// Verifier.CheckMarkerBias flags the domain (§5.1 extension).
+type MarkerShaver struct {
+	// Mu is the system-wide marker threshold (hashing.ThresholdForRate
+	// of the marker rate).
+	Mu uint64
+	// ShaveNS is how much faster markers are claimed to transit.
+	ShaveNS int64
+}
+
+// Name implements Adversary.
+func (m *MarkerShaver) Name() string { return "marker-shave" }
+
+// TamperBatch back-dates marker observation times in place. The
+// stream order is left untouched — the gaming control plane rewrites
+// the timestamp *field*, not the observation sequence — so the HOP's
+// sampling decisions stay synchronized with its honest neighbors'
+// (Algorithm 1 keys off marker arrival order) and the only trace of
+// the lie is the statistically impossible marker-delay split.
+func (m *MarkerShaver) TamperBatch(_ receipt.HOPID, batch []Observation) []Observation {
+	for i := range batch {
+		if hashing.Exceeds(batch[i].Digest, m.Mu) {
+			batch[i].TimeNS -= m.ShaveNS
+		}
+	}
+	return batch
+}

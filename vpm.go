@@ -230,6 +230,58 @@ func NewVerifierOn(layout Layout, store *ReceiptStore, key PathKey) *Verifier {
 // across per-path verifiers via NewVerifierOn.
 func NewReceiptStore() *ReceiptStore { return core.NewReceiptStore() }
 
+// Byzantine adversary framework (threat-model tooling). Data-plane
+// adversaries (HOPAdversary) are worn by a HOP via WearAdversary and
+// rewrite its observation stream; control-plane adversaries
+// (EpochAdversary) are interposed between epoch rotation and
+// publication with NewAdversarySink and rewrite sealed receipts;
+// dissemination attacks (BundleTamper) install on a BundleServer with
+// SetTamper. Verification answers with blame attribution: each Blame
+// names the narrowest implicated HOP/domain set and the evidence
+// class. See the attack-matrix section in README.md.
+type (
+	// HOPAdversary rewrites the observation stream of one HOP (the
+	// data-plane half of the Byzantine framework).
+	HOPAdversary = netsim.Adversary
+	// EpochAdversary rewrites a domain's sealed epoch receipts before
+	// publication (the control-plane half).
+	EpochAdversary = core.EpochAdversary
+	// SealedEpoch is one HOP's sealed interval as an EpochAdversary
+	// sees it.
+	SealedEpoch = core.SealedEpoch
+	// BundleTamper intercepts bundles at the dissemination boundary.
+	BundleTamper = dissem.BundleTamper
+	// Blame is one attribution: narrowest implicated set + evidence
+	// class + epoch.
+	Blame = core.Blame
+	// EvidenceClass classifies the proof behind a Blame.
+	EvidenceClass = core.EvidenceClass
+	// Equivocation is a non-repudiable two-signatures proof.
+	Equivocation = dissem.Equivocation
+)
+
+// WearAdversary dresses a HOP's observer in a data-plane adversary.
+func WearAdversary(hop HOPID, adv HOPAdversary, obs Observer) Observer {
+	return netsim.Wear(hop, adv, obs)
+}
+
+// NewAdversarySink interposes a control-plane adversary between an
+// epoch pipeline and its publication sink.
+func NewAdversarySink(sink EpochSink, adv EpochAdversary) EpochSink {
+	return core.NewAdversarySink(sink, adv)
+}
+
+// AttributeBlame condenses link verdicts into blame findings.
+func AttributeBlame(layout Layout, epoch EpochID, verdicts []LinkVerdict) []Blame {
+	return core.AttributeBlame(layout, epoch, verdicts)
+}
+
+// FindEquivocation cross-checks two verifiers' signed bundles from
+// one origin for contradictions.
+func FindEquivocation(reg KeyRegistry, origin HOPID, a, b []SignedReceiptBundle) []Equivocation {
+	return dissem.FindEquivocation(reg, origin, a, b)
+}
+
 // FabricateDelivery is the blame-shift lie (threat-model tooling): a
 // domain claims it delivered traffic it dropped. See
 // examples/liar-detection.
