@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
 //	          [-json] [-shards 1,2,4,8] [-workers 1,2,4,8]
 //
@@ -22,6 +22,14 @@
 //
 //	vpm-bench -run throughput -json -o BENCH_throughput.json
 //	vpm-bench -run verify -json -o BENCH_verify.json
+//
+// -run topo sweeps the mesh topology families (star, tree, Clos-like
+// ECMP fabric, random AS graph): honest and faulty-shared-link
+// scenarios per family, the faulty one across the -shards × -workers
+// grid with byte-identical verdicts enforced, shared-link blame
+// localization reported per row:
+//
+//	vpm-bench -run topo -json -shards 1,4 -workers 1,4 -o BENCH_topo.json
 package main
 
 import (
@@ -39,7 +47,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs")
+		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo")
 		duration = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
 		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -72,8 +80,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs or attacks"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks or topo"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -238,6 +246,32 @@ func main() {
 			fmt.Fprint(w, experiments.VerifyRender(rows, *markdown))
 		}
 	}
+	if wanted("topo") {
+		ran = true
+		// The topology grid reuses -shards and -workers; the sweep
+		// itself enforces byte-identical verdicts across the grid.
+		rows, err := experiments.Topo(cfg, shardCounts, workerCounts)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                `json:"experiment"`
+				Seed       uint64                `json:"seed"`
+				RatePPS    float64               `json:"rate_pps"`
+				DurationNS int64                 `json:"duration_ns"`
+				Rows       []experiments.TopoRow `json:"rows"`
+			}{"topo", cfg.Seed, cfg.RatePPS, cfg.DurationNS, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Mesh & multipath — topology families, shared-link blame")
+			fmt.Fprint(w, experiments.TopoRender(rows, *markdown))
+		}
+	}
 	if wanted("epochs") {
 		ran = true
 		rows, err := experiments.Epochs(cfg, *epochs, retentions)
@@ -264,7 +298,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo)", *run))
 	}
 }
 

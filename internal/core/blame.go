@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"vpm/internal/packet"
 	"vpm/internal/receipt"
 )
 
@@ -120,13 +121,20 @@ func (b Blame) String() string {
 }
 
 // LinkDomains returns the names of the two domains adjacent to the
-// given link ordinal (Layout.Links order). Link segment names are
-// "A-B" by construction (Deployment.Layout), so the pair is recovered
-// from the name; ok is false for an out-of-range ordinal.
+// given link ordinal (Layout.Links order), from the segment's explicit
+// UpDomain/DownDomain fields. Layouts from older builders carry only
+// the "A-B" segment name; those fall back to splitting the name on "-"
+// — a linear-path-era convention that misattributes when the upstream
+// domain's own name contains a hyphen (mesh generators and real AS
+// names legitimately do), which is why the explicit fields exist.
+// ok is false for an out-of-range ordinal.
 func (l Layout) LinkDomains(linkID int) (up, down string, ok bool) {
 	links := l.Links()
 	if linkID < 0 || linkID >= len(links) {
 		return "", "", false
+	}
+	if s := links[linkID]; s.UpDomain != "" || s.DownDomain != "" {
+		return s.UpDomain, s.DownDomain, true
 	}
 	parts := strings.SplitN(links[linkID].Name, "-", 2)
 	if len(parts) != 2 {
@@ -224,10 +232,18 @@ func BlameHOP(layout Layout, epoch EpochID, ev EvidenceClass, hop receipt.HOPID,
 	}
 }
 
-// domainOf names the domain owning a HOP, from the layout's domain
-// segments (stub domains own a single HOP and appear only in link
-// names).
+// domainOf names the domain owning a HOP: the explicit per-segment
+// domain fields first (any segment kind), then the domain segments by
+// name, then the linear-era link-name fallback for stub HOPs.
 func (l Layout) domainOf(hop receipt.HOPID) string {
+	for _, s := range l.Segments {
+		if s.Up == hop && s.UpDomain != "" {
+			return s.UpDomain
+		}
+		if s.Down == hop && s.DownDomain != "" {
+			return s.DownDomain
+		}
+	}
 	for _, s := range l.Segments {
 		if s.Kind == DomainSegment && (s.Up == hop || s.Down == hop) {
 			return s.Name
@@ -245,4 +261,84 @@ func (l Layout) domainOf(hop receipt.HOPID) string {
 		}
 	}
 	return ""
+}
+
+// SharedBlame is one merged blame finding across many traffic keys
+// and routes: the same implicated HOP set and evidence class, with the
+// supporting violations summed and the distinct contributing keys
+// counted. On a mesh, a faulty shared link produces one finding per
+// (key, route) crossing it; merged, the evidence concentrates on the
+// link's own HOP pair — many keys implicating one narrow set — while
+// honest disjoint routes contribute nothing.
+type SharedBlame struct {
+	Blame
+	// Keys is the number of distinct traffic keys whose verdicts
+	// contributed to this finding.
+	Keys int
+}
+
+// MergeBlames condenses per-key blame findings into shared findings:
+// one per (evidence class, implicated HOP set), counts summed, keyed
+// contributions counted. Output is ordered by (HOP set, evidence) so
+// mesh-wide attribution is deterministic whatever order the per-key
+// verdicts arrived in. The per-route LinkID ordinals are route-local
+// and meaningless across routes, so merged findings carry LinkID -1;
+// the HOP pair is the global link identity.
+func MergeBlames(perKey map[packet.PathKey][]Blame) []SharedBlame {
+	type groupKey struct {
+		ev   EvidenceClass
+		hops string
+	}
+	hopsKey := func(hops []receipt.HOPID) string {
+		sorted := append([]receipt.HOPID(nil), hops...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var b strings.Builder
+		for _, h := range sorted {
+			fmt.Fprintf(&b, "%d,", uint32(h))
+		}
+		return b.String()
+	}
+	merged := make(map[groupKey]*SharedBlame)
+	contrib := make(map[groupKey]map[packet.PathKey]bool)
+	keys := make([]packet.PathKey, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	for _, k := range keys {
+		for _, b := range perKey[k] {
+			gk := groupKey{ev: b.Evidence, hops: hopsKey(b.HOPs)}
+			sb, ok := merged[gk]
+			if !ok {
+				cp := b
+				cp.LinkID = -1
+				cp.HOPs = append([]receipt.HOPID(nil), b.HOPs...)
+				cp.Domains = append([]string(nil), b.Domains...)
+				cp.Count = 0
+				sb = &SharedBlame{Blame: cp}
+				merged[gk] = sb
+				contrib[gk] = make(map[packet.PathKey]bool)
+			}
+			sb.Count += b.Count
+			contrib[gk][k] = true
+		}
+	}
+	out := make([]SharedBlame, 0, len(merged))
+	for gk, sb := range merged {
+		sb.Keys = len(contrib[gk])
+		out = append(out, *sb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for x := 0; x < len(a.HOPs) && x < len(b.HOPs); x++ {
+			if a.HOPs[x] != b.HOPs[x] {
+				return a.HOPs[x] < b.HOPs[x]
+			}
+		}
+		if len(a.HOPs) != len(b.HOPs) {
+			return len(a.HOPs) < len(b.HOPs)
+		}
+		return a.Evidence < b.Evidence
+	})
+	return out
 }

@@ -119,13 +119,23 @@ func DefaultAggregationConfig() aggregation.Config {
 // experiments use: build a netsim.Path, deploy, run traffic, then
 // verify.
 type Deployment struct {
-	Path       *netsim.Path
+	// Path is the linear path this deployment covers, nil for a mesh
+	// deployment (see Topo).
+	Path *netsim.Path
+	// Topo is the mesh topology this deployment covers, nil for a
+	// linear one (see NewTopoDeployment). Exactly one of Path and Topo
+	// is set; Layout serves linear deployments, RouteLayouts and
+	// KeyLayouts serve meshes.
+	Topo       *netsim.Topology
 	Table      *packet.Table
 	Collectors map[receipt.HOPID]PathCollector
 	Processors map[receipt.HOPID]*Processor
 
 	markerThreshold  uint64
 	sampleThresholds map[receipt.HOPID]uint64
+	// keyLayouts caches the per-key route layouts of a mesh deployment
+	// (nil for linear ones); built once in NewTopoDeployment.
+	keyLayouts map[packet.PathKey][]Layout
 }
 
 // NewDeployment builds collectors for every HOP of every deploying
@@ -211,28 +221,39 @@ func (d *Deployment) Finalize() {
 	}
 }
 
-// Layout derives the verifier's path layout from the simulated path.
+// Layout derives the verifier's path layout from the simulated linear
+// path. A mesh deployment has no single layout — each route has its
+// own (RouteLayouts/KeyLayouts) — so Layout returns the zero Layout
+// there; the verifier entry points route through verifierLayout, which
+// picks the right per-key layout for both kinds.
 func (d *Deployment) Layout() Layout {
 	p := d.Path
+	if p == nil {
+		return Layout{}
+	}
 	var l Layout
 	for di := range p.Domains {
 		in, eg := p.HOPsOf(di)
 		if di > 0 {
 			_, prevEg := p.HOPsOf(di - 1)
 			l.Segments = append(l.Segments, Segment{
-				Kind: LinkSegment,
-				Up:   prevEg,
-				Down: in,
-				Name: fmt.Sprintf("%s-%s", p.Domains[di-1].Name, p.Domains[di].Name),
+				Kind:       LinkSegment,
+				Up:         prevEg,
+				Down:       in,
+				Name:       fmt.Sprintf("%s-%s", p.Domains[di-1].Name, p.Domains[di].Name),
+				UpDomain:   p.Domains[di-1].Name,
+				DownDomain: p.Domains[di].Name,
 			})
 		}
 		l.HOPs = append(l.HOPs, in)
 		if eg != in {
 			l.Segments = append(l.Segments, Segment{
-				Kind: DomainSegment,
-				Up:   in,
-				Down: eg,
-				Name: p.Domains[di].Name,
+				Kind:       DomainSegment,
+				Up:         in,
+				Down:       eg,
+				Name:       p.Domains[di].Name,
+				UpDomain:   p.Domains[di].Name,
+				DownDomain: p.Domains[di].Name,
 			})
 			l.HOPs = append(l.HOPs, eg)
 		}
@@ -291,14 +312,31 @@ func (d *Deployment) newStore(only *packet.PathKey) *ReceiptStore {
 
 // NewVerifierOn builds a verifier for one origin-prefix path key over
 // a shared receipt store (see NewStore), configured with the
-// deployment's constants.
+// deployment's constants. On a mesh deployment the verifier covers the
+// key's first route; a multipath (ECMP) key has several routes — use
+// KeyLayouts and build one verifier per route layout to cover them
+// all.
 func (d *Deployment) NewVerifierOn(store *ReceiptStore, key packet.PathKey) *Verifier {
-	v := NewVerifierOn(d.Layout(), store, key)
+	v := NewVerifierOn(d.verifierLayout(key), store, key)
 	v.SetConfig(VerifierConfig{
 		MarkerThreshold:  d.markerThreshold,
 		SampleThresholds: d.sampleThresholds,
 	})
 	return v
+}
+
+// verifierLayout resolves the layout a single-layout verifier for key
+// uses: the linear path layout, or — on a mesh — the key's first
+// route layout (an unrouted key gets an empty layout, yielding a
+// verifier with nothing to check rather than a panic).
+func (d *Deployment) verifierLayout(key packet.PathKey) Layout {
+	if d.Topo == nil {
+		return d.Layout()
+	}
+	if ls := d.KeyLayouts()[key]; len(ls) > 0 {
+		return ls[0]
+	}
+	return Layout{}
 }
 
 // VerifierConfig returns the deployment constants a hand-built

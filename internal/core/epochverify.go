@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"vpm/internal/aggregation"
-	"vpm/internal/hashing"
 	"vpm/internal/packet"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
@@ -114,27 +113,16 @@ func (s *epochScope) epochLinkCheck(key packet.PathKey, linkID int, up, down rec
 		}
 	}
 	lv.MissingDown, lv.MissingUp = len(missingDown), len(missingUp)
+	// Symmetric §5.3 reorder noise at epoch granularity, absorbed by
+	// the same rule the batch CheckLink applies (absorbSymmetricNoise);
+	// asymmetric excess — real loss or lies — keeps its full weight
+	// (TestRollingVerifierFlagsFaultyLink).
 	tol := v.missingTolerance(lv.MatchedSamples)
-	// §5.3 noise at epoch granularity: a marker reordered against its
-	// buffer between the two ends desynchronizes the sampling decisions
-	// of up to a buffer's worth of packets — in BOTH directions at
-	// once, and by similar amounts (each end samples ~σ/µ packets the
-	// other did not). Absorb that symmetric component up to a few
-	// buffers' worth; judge each direction's excess at the standard
-	// tolerance. Loss and lies are asymmetric — a dropped packet is
-	// missing downstream only, a fabricated one missing upstream only —
-	// so they keep their full weight (TestRollingVerifierFlagsFaultyLink).
-	sym := lv.MissingDown
-	if lv.MissingUp < sym {
-		sym = lv.MissingUp
-	}
-	if sym > epochNoiseFloor(v, up, down) {
-		sym = 0 // too large even for reorder noise: judge in full
-	}
-	if lv.MissingDown-sym > tol {
+	judgeDown, judgeUp := absorbSymmetricNoise(lv.MissingDown, lv.MissingUp, v.reorderNoiseFloor(up, down))
+	if judgeDown > tol {
 		lv.Violations = append(lv.Violations, missingDown...)
 	}
-	if lv.MissingUp-sym > tol {
+	if judgeUp > tol {
 		lv.Violations = append(lv.Violations, missingUp...)
 	}
 
@@ -180,33 +168,6 @@ func (s *epochScope) boundedPairs(pairs []aggregation.Pair, a, b []receipt.AggRe
 	return pairs[lo:hi]
 }
 
-// epochNoiseFloor bounds the symmetric §5.3 reordering noise an
-// epoch-scale missing-record check absorbs: one flipped marker
-// desynchronizes up to a temporary buffer's worth of sampling
-// decisions — σ/µ samples in expectation per direction — and the
-// floor covers a few such events per epoch. Stream-scale checks bury
-// these episodic bursts inside the fractional tolerance; an
-// epoch-scale matched population does not.
-func epochNoiseFloor(v *Verifier, up, down receipt.HOPID) int {
-	mu := v.cfg.MarkerThreshold
-	if mu == 0 {
-		return 0
-	}
-	muRate := hashing.RateForThreshold(mu)
-	if muRate <= 0 {
-		return 0
-	}
-	sigma := v.cfg.SampleThresholds[up]
-	if s, ok := v.cfg.SampleThresholds[down]; ok && (sigma == 0 || s < sigma) {
-		sigma = s // lower threshold = higher sampling rate = bigger buffers
-	}
-	if sigma == 0 {
-		return 0
-	}
-	perBuffer := hashing.RateForThreshold(sigma) / muRate
-	return int(4 * perBuffer)
-}
-
 // epochDomainReport estimates one domain's loss and delay for the
 // target epoch: delays from the samples the egress HOP sealed in it
 // (each sample contributes to exactly one epoch's estimate), loss from
@@ -215,7 +176,12 @@ func (s *epochScope) epochDomainReport(key packet.PathKey, seg Segment, qs []flo
 	v := s.view
 	rep := DomainReport{Name: seg.Name, Ingress: seg.Up, Egress: seg.Down}
 
-	if ra, rb := v.indexFor(seg.Up).aggReceipts(), v.indexFor(seg.Down).aggReceipts(); len(ra) > 0 && len(rb) > 0 {
+	if seg.Partial {
+		// ECMP branch/merge point: the two HOPs see different subsets
+		// of the key's packets, so aggregate counts are not comparable
+		// (see Segment.Partial). Delay estimates below still are.
+		rep.PartialLoss = true
+	} else if ra, rb := v.indexFor(seg.Up).aggReceipts(), v.indexFor(seg.Down).aggReceipts(); len(ra) > 0 && len(rb) > 0 {
 		pairs := aggregation.Join(ra, rb)
 		mig := aggregation.PatchUp(pairs)
 		bounded := s.boundedPairs(pairs, ra, rb)

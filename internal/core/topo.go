@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vpm/internal/aggregation"
+	"vpm/internal/hashing"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/sampling"
+)
+
+// This file wires the mesh topology engine into the deployment and
+// verification stack. A topology deployment places one collector per
+// link-endpoint HOP — a HOP on a shared link files receipts for every
+// traffic key crossing it, which the (HOP, key)-indexed ReceiptStore
+// holds without change — and verification runs per (traffic key,
+// route): each route is a linear HOP sequence, so the whole §4 link
+// checking machinery applies route by route, with per-route layouts
+// replacing the single linear Layout.
+
+// NewTopoDeployment builds collectors for every routed HOP of every
+// deploying domain in the topology. The returned Deployment drives the
+// same Processor/Finalize/NewStore pipeline as a linear one (and the
+// same EpochDriver for continuous operation); only its layout accessors
+// differ — use RouteLayouts/KeyLayouts instead of Layout.
+func NewTopoDeployment(topo *netsim.Topology, table *packet.Table, cfg DeployConfig) (*Deployment, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Topo:             topo,
+		Table:            table,
+		Collectors:       make(map[receipt.HOPID]PathCollector),
+		Processors:       make(map[receipt.HOPID]*Processor),
+		markerThreshold:  hashing.ThresholdForRate(cfg.MarkerRate),
+		sampleThresholds: make(map[receipt.HOPID]uint64),
+	}
+	// Only HOPs on some route ever observe traffic; collectors on the
+	// rest would drain nothing.
+	routed := make(map[receipt.HOPID]bool)
+	for ri := range topo.Routes {
+		for _, h := range topo.RouteHOPs(ri) {
+			routed[h] = true
+		}
+	}
+	hops := make([]int, 0, len(routed))
+	for h := range routed {
+		hops = append(hops, int(h))
+	}
+	sort.Ints(hops)
+	for _, hi := range hops {
+		h := receipt.HOPID(hi)
+		dom := &topo.Domains[topo.HOPDomain(h)]
+		if cfg.SkipDomains[dom.Name] {
+			continue
+		}
+		tune, ok := cfg.PerDomain[dom.Name]
+		if !ok {
+			tune = cfg.Default
+		}
+		col, err := NewPathCollector(CollectorConfig{
+			HOP:   h,
+			Table: table,
+			PathID: func(key packet.PathKey) receipt.PathID {
+				return topo.PathIDFor(key, h)
+			},
+			Sampling: sampling.Config{
+				MarkerRate: cfg.MarkerRate,
+				SampleRate: tune.SampleRate,
+			},
+			Aggregation: aggregation.Config{
+				CutRate:  tune.AggRate,
+				WindowNS: cfg.WindowNS,
+			},
+			Shards: cfg.Shards,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: HOP %v: %w", h, err)
+		}
+		d.Collectors[h] = col
+		d.Processors[h] = NewProcessor(col)
+		d.sampleThresholds[h] = hashing.ThresholdForRate(tune.SampleRate)
+	}
+	// Route layouts are pure functions of the (immutable) topology:
+	// derive them once so every NewVerifierOn / KeyLayouts caller
+	// shares the cache instead of re-walking the route table.
+	d.keyLayouts = make(map[packet.PathKey][]Layout)
+	for ri := range topo.Routes {
+		key := topo.Routes[ri].Key
+		d.keyLayouts[key] = append(d.keyLayouts[key], d.RouteLayout(ri))
+	}
+	return d, nil
+}
+
+// RouteLayout derives the verifier layout of one route: the route's
+// HOP sequence with alternating link and domain segments, explicit
+// owning-domain names on every segment, and ECMP branch/merge domain
+// segments marked Partial (the two HOPs see different subsets of the
+// key's traffic there, so aggregate loss is not comparable across
+// them).
+func (d *Deployment) RouteLayout(ri int) Layout {
+	topo := d.Topo
+	rt := &topo.Routes[ri]
+	hops := topo.RouteHOPs(ri)
+	doms := topo.RouteDomains(ri)
+	// Which of the key's routes cross each HOP — different sets at a
+	// domain segment's two ends mean an ECMP branch or merge there.
+	// The comparison is on the route *sets*, not their sizes: two HOPs
+	// crossed by equally many but different routes (a domain that is
+	// both a branch and a merge point) still see different packet
+	// subsets.
+	share := func(h receipt.HOPID) string {
+		var sig []byte
+		for _, rj := range topo.RoutesForKey(rt.Key) {
+			for _, hh := range topo.RouteHOPs(rj) {
+				if hh == h {
+					sig = append(sig, byte(rj), byte(rj>>8))
+					break
+				}
+			}
+		}
+		return string(sig) // RoutesForKey is ordered, so the signature is canonical
+	}
+	var l Layout
+	l.HOPs = append(l.HOPs, hops...)
+	for j := range rt.Links {
+		from, to := topo.Domains[doms[j]].Name, topo.Domains[doms[j+1]].Name
+		l.Segments = append(l.Segments, Segment{
+			Kind:       LinkSegment,
+			Up:         hops[2*j],
+			Down:       hops[2*j+1],
+			Name:       from + "-" + to,
+			UpDomain:   from,
+			DownDomain: to,
+		})
+		if j+1 < len(rt.Links) {
+			name := topo.Domains[doms[j+1]].Name
+			in, eg := hops[2*j+1], hops[2*j+2]
+			l.Segments = append(l.Segments, Segment{
+				Kind:       DomainSegment,
+				Up:         in,
+				Down:       eg,
+				Name:       name,
+				UpDomain:   name,
+				DownDomain: name,
+				Partial:    share(in) != share(eg),
+			})
+		}
+	}
+	return l
+}
+
+// RouteLayouts returns every route's layout, indexed like
+// Topology.Routes.
+func (d *Deployment) RouteLayouts() []Layout {
+	out := make([]Layout, len(d.Topo.Routes))
+	for i := range out {
+		out[i] = d.RouteLayout(i)
+	}
+	return out
+}
+
+// KeyLayouts groups the route layouts by traffic key, in route-table
+// order — the map RollingVerifier.SetKeyLayouts consumes for mesh
+// verification, and the unit batch verification iterates: one
+// verification sweep per (key, route layout). The returned map is the
+// deployment's shared cache (layouts are immutable once built); do not
+// mutate it.
+func (d *Deployment) KeyLayouts() map[packet.PathKey][]Layout {
+	return d.keyLayouts
+}

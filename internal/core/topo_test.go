@@ -1,0 +1,622 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vpm/internal/hashing"
+	"vpm/internal/lossmodel"
+	"vpm/internal/netsim"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/stats"
+	"vpm/internal/trace"
+)
+
+// topoTraceConfig builds a trace with one path spec per key.
+func topoTraceConfig(keys []packet.PathKey, ratePPS float64, durNS int64) trace.Config {
+	tc := trace.Config{Seed: 21, DurationNS: durNS}
+	for _, k := range keys {
+		tc.Paths = append(tc.Paths, trace.PathSpec{
+			SrcPrefix:    k.Src,
+			DstPrefix:    k.Dst,
+			RatePPS:      ratePPS,
+			ActiveFlows:  8,
+			MeanFlowPkts: 50,
+			UDPFraction:  0.2,
+		})
+	}
+	return tc
+}
+
+// meshDeployConfig samples densely enough that per-key link checks see
+// real populations at test scale.
+func meshDeployConfig() DeployConfig {
+	dc := DefaultDeployConfig()
+	dc.MarkerRate = 0.004
+	dc.Default.SampleRate = 0.05
+	dc.Default.AggRate = 0.001
+	return dc
+}
+
+// runTopo deploys cfg on topo, runs pkts, and returns the finalized
+// deployment with its shared store.
+func runTopo(t testing.TB, topo *netsim.Topology, tc trace.Config, pkts []packet.Packet, dc DeployConfig) (*Deployment, *ReceiptStore) {
+	t.Helper()
+	dep, err := NewTopoDeployment(topo, tc.Table(), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := netsim.NewTopoRunner(topo, tc.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(pkts, dep.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	dep.Finalize()
+	return dep, dep.NewStore()
+}
+
+// meshVerdicts verifies every (key, route) of a topo deployment over
+// store and returns the per-key blames plus all link verdicts keyed by
+// (key, route).
+func meshVerdicts(dep *Deployment, store *ReceiptStore) (map[packet.PathKey][]Blame, map[string][]LinkVerdict) {
+	perKey := make(map[packet.PathKey][]Blame)
+	verdicts := make(map[string][]LinkVerdict)
+	for _, key := range dep.Topo.Keys() {
+		for ri, layout := range dep.KeyLayouts()[key] {
+			v := NewVerifierOn(layout, store, key)
+			v.SetConfig(dep.VerifierConfig())
+			lvs := v.VerifyAllLinks()
+			verdicts[fmt.Sprintf("%v/%d", key, ri)] = lvs
+			perKey[key] = append(perKey[key], AttributeBlame(layout, 0, lvs)...)
+		}
+	}
+	return perKey, verdicts
+}
+
+// TestTopoSharedLinkBlame is the mesh blame-localization acceptance
+// check: a lossy shared access link on a star topology is blamed on
+// exactly its owning domain pair by every traffic key crossing it,
+// while the disjoint honest distribution links stay violation-free.
+func TestTopoSharedLinkBlame(t *testing.T) {
+	keys := netsim.TopoKeys(4)
+	topo := netsim.StarTopology(31, 5, keys)
+	ll, err := lossmodel.FromTargetLoss(0.3, 4, stats.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Links[0].Loss = ll // the shared leaf0→hub access link
+
+	tc := topoTraceConfig(keys, 25000, 2e8)
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, store := runTopo(t, topo, tc, pkts, meshDeployConfig())
+
+	perKey, verdicts := meshVerdicts(dep, store)
+	sharedEg, sharedIn := topo.LinkHOPs(0)
+	implicated := map[receipt.HOPID]bool{sharedEg: true, sharedIn: true}
+
+	// Every key must blame the shared link, and nothing else.
+	for _, key := range keys {
+		if len(perKey[key]) == 0 {
+			t.Fatalf("key %v: faulty shared link produced no blame", key)
+		}
+		for _, b := range perKey[key] {
+			for _, h := range b.HOPs {
+				if !implicated[h] {
+					t.Fatalf("key %v: blame leaked to HOP %v outside the shared link: %v", key, h, b)
+				}
+			}
+			if b.Domains[0] != "leaf0" || b.Domains[1] != "hub" {
+				t.Fatalf("key %v: blame names domains %v, want [leaf0 hub]", key, b.Domains)
+			}
+		}
+	}
+	// Honest disjoint links: zero violations anywhere else.
+	for kr, lvs := range verdicts {
+		for _, lv := range lvs {
+			if implicated[lv.Up] && implicated[lv.Down] {
+				continue
+			}
+			if len(lv.Violations) != 0 {
+				t.Fatalf("%s: honest link %v-%v has %d violations", kr, lv.Up, lv.Down, len(lv.Violations))
+			}
+		}
+	}
+
+	// Merged, the findings concentrate on one narrow HOP set with every
+	// key contributing.
+	merged := MergeBlames(perKey)
+	if len(merged) == 0 {
+		t.Fatal("MergeBlames dropped all findings")
+	}
+	for _, sb := range merged {
+		if len(sb.HOPs) != 2 || !implicated[sb.HOPs[0]] || !implicated[sb.HOPs[1]] {
+			t.Fatalf("merged blame implicates %v, want the shared link pair", sb.HOPs)
+		}
+		if sb.Keys != len(keys) {
+			t.Fatalf("merged blame %v credited to %d keys, want %d", sb.Evidence, sb.Keys, len(keys))
+		}
+		if sb.LinkID != -1 {
+			t.Fatalf("merged blame kept a route-local LinkID %d", sb.LinkID)
+		}
+	}
+}
+
+// meshFingerprint renders every (key, route) link verdict and domain
+// report over a store, for byte-identical cross-mode comparison — the
+// mesh counterpart of verdictFingerprint.
+func meshFingerprint(t *testing.T, dep *Deployment, store *ReceiptStore) string {
+	t.Helper()
+	var b strings.Builder
+	for _, key := range dep.Topo.Keys() {
+		for ri, layout := range dep.KeyLayouts()[key] {
+			v := NewVerifierOn(layout, store, key)
+			v.SetConfig(dep.VerifierConfig())
+			fmt.Fprintf(&b, "key %v route %d\n", key, ri)
+			for _, lv := range v.VerifyAllLinks() {
+				fmt.Fprintf(&b, "  %+v\n", lv)
+			}
+			reps, err := v.DomainReports(quantile.DefaultQuantiles, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rep := range reps {
+				fmt.Fprintf(&b, "  %+v\n", rep)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestMeshBatchContinuousEquivalence extends the batch/continuous
+// acceptance check to a mesh fixture: the same star-topology trace
+// (faulty shared link included) replayed one-shot and across rotated
+// epochs produces byte-identical per-(key, route) verdicts when the
+// per-epoch receipts are aggregated into one store.
+func TestMeshBatchContinuousEquivalence(t *testing.T) {
+	keys := netsim.TopoKeys(3)
+	build := func() *netsim.Topology {
+		topo := netsim.StarTopology(57, 4, keys)
+		ll, err := lossmodel.FromTargetLoss(0.25, 4, stats.NewRNG(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.Links[0].Loss = ll
+		return topo
+	}
+	tc := topoTraceConfig(keys, 20000, 4e8)
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch arm.
+	batchDep, batchStore := runTopo(t, build(), tc, append([]packet.Packet(nil), pkts...), meshDeployConfig())
+	want := meshFingerprint(t, batchDep, batchStore)
+
+	// Continuous arm: 8 rotated epochs through an EpochDriver, receipts
+	// sealed per epoch and aggregated back into one store.
+	const intervalNS = int64(5e7)
+	topo := build()
+	epDep, err := NewTopoDeployment(topo, tc.Table(), meshDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newEpochRecorder()
+	driver, err := NewEpochDriver(epDep, intervalNS, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := netsim.NewTopoRunner(topo, tc.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcopy := append([]packet.Packet(nil), pkts...)
+	start := 0
+	for e := 1; e <= 8; e++ {
+		horizon := int64(e) * intervalNS
+		end := start
+		for end < len(pcopy) && pcopy[end].SentAt < horizon {
+			end++
+		}
+		if _, err := tr.RunSegment(pcopy[start:end], driver.Observers(), horizon); err != nil {
+			t.Fatal(err)
+		}
+		start = end
+	}
+	if _, err := tr.Run(pcopy[start:], driver.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	driver.Close()
+
+	agg := NewReceiptStore()
+	for hop, sealed := range rec.byHOP {
+		for _, se := range sealed {
+			for _, s := range se.samples {
+				agg.AddSamples(hop, s)
+			}
+			agg.AddAggs(hop, se.aggs)
+		}
+	}
+	got := meshFingerprint(t, epDep, agg)
+	if got != want {
+		t.Fatalf("mesh verdicts differ between one-shot and rotated epochs:\nbatch:\n%s\ncontinuous:\n%s", want, got)
+	}
+	if !strings.Contains(want, "violations") {
+		t.Fatalf("fingerprint carries no shared-link violations — the comparison proved nothing:\n%s", want)
+	}
+}
+
+// TestMeshRollingVerifier drives the mesh path of the epoch pipeline
+// end-to-end: a faulty shared access leg on an ECMP Clos fabric,
+// epochs rotated by an EpochDriver straight into a WindowedStore, and
+// a RollingVerifier with per-key route layouts (SetKeyLayouts). The
+// per-epoch reports must carry one report per (key, route), confine
+// every blame to the faulty link's HOP pair, check links shared by a
+// key's routes exactly once per key (on the first route), and leave
+// the disjoint spine legs violation-free.
+func TestMeshRollingVerifier(t *testing.T) {
+	keys := netsim.TopoKeys(2)
+	topo := netsim.ClosTopology(91, 2, 2, keys)
+	ll, err := lossmodel.FromTargetLoss(0.3, 4, stats.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Links[0].Loss = ll // host0→edge0: shared by key0's two ECMP routes
+
+	tc := topoTraceConfig(keys, 40000, 4e8)
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewTopoDeployment(topo, tc.Table(), meshDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := make([]receipt.HOPID, 0, len(dep.Collectors))
+	for h := range dep.Collectors {
+		hops = append(hops, h)
+	}
+	win, err := NewWindowedStore(hops, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const intervalNS = int64(5e7) // 8 epochs
+	driver, err := NewEpochDriver(dep, intervalNS, win.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := netsim.NewTopoRunner(topo, tc.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 0
+	for e := 1; e <= 8; e++ {
+		horizon := int64(e) * intervalNS
+		end := start
+		for end < len(pkts) && pkts[end].SentAt < horizon {
+			end++
+		}
+		if _, err := tr.RunSegment(pkts[start:end], driver.Observers(), horizon); err != nil {
+			t.Fatal(err)
+		}
+		start = end
+	}
+	if _, err := tr.Run(pkts[start:], driver.Observers()); err != nil {
+		t.Fatal(err)
+	}
+	driver.Close()
+	win.FinishStream()
+
+	rolling := NewRollingVerifier(Layout{}, dep.VerifierConfig(), win, nil, 0.95)
+	rolling.SetKeyLayouts(dep.KeyLayouts())
+	reps, err := rolling.VerifyReady()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 8 {
+		t.Fatalf("only %d epochs verified", len(reps))
+	}
+
+	faultEg, faultIn := topo.LinkHOPs(0)
+	sawRoute1, sawViolation := false, false
+	for _, rep := range reps {
+		for _, kr := range rep.Keys {
+			if kr.Route == 1 {
+				sawRoute1 = true
+				// The shared access legs were checked on route 0; the
+				// route-1 report must cover only its disjoint spine leg.
+				for _, lv := range kr.Links {
+					if lv.Up == faultEg && lv.Down == faultIn {
+						t.Fatalf("epoch %d key %v: shared link re-checked on route 1", rep.Epoch, kr.Key)
+					}
+				}
+			}
+			for _, lv := range kr.Links {
+				onFault := lv.Up == faultEg && lv.Down == faultIn
+				if len(lv.Violations) > 0 {
+					sawViolation = true
+					if !onFault {
+						t.Fatalf("epoch %d key %v route %d: %d violations on honest link %v-%v",
+							rep.Epoch, kr.Key, kr.Route, len(lv.Violations), lv.Up, lv.Down)
+					}
+				}
+			}
+			for _, b := range kr.Blames {
+				for _, h := range b.HOPs {
+					if h != faultEg && h != faultIn {
+						t.Fatalf("epoch %d: blame leaked to HOP %v: %v", rep.Epoch, h, b)
+					}
+				}
+			}
+		}
+	}
+	if !sawRoute1 {
+		t.Fatal("no per-route reports for the ECMP key's second route — SetKeyLayouts not exercised")
+	}
+	if !sawViolation {
+		t.Fatal("faulty shared link produced no per-epoch violations")
+	}
+}
+
+// TestRouteLayoutPartial: on an ECMP Clos fabric the branch/merge
+// domain segments (edge domains, where a key's routes share one HOP
+// but not the other) are marked Partial; the spine transit segments
+// are not.
+func TestRouteLayoutPartial(t *testing.T) {
+	keys := netsim.TopoKeys(1)
+	topo := netsim.ClosTopology(7, 2, 2, keys)
+	dep, err := NewTopoDeployment(topo, topoTraceConfig(keys, 1000, 1e7).Table(), meshDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts := dep.KeyLayouts()[keys[0]]
+	if len(layouts) != 2 {
+		t.Fatalf("want one layout per ECMP route, got %d", len(layouts))
+	}
+	for ri, l := range layouts {
+		segs := l.DomainSegments()
+		if len(segs) != 3 {
+			t.Fatalf("route %d: want 3 transit domain segments, got %d", ri, len(segs))
+		}
+		// edge(src) — branch point, spine — fully on-route, edge(dst) —
+		// merge point.
+		if !segs[0].Partial || !segs[2].Partial {
+			t.Fatalf("route %d: edge segments not marked Partial: %+v", ri, segs)
+		}
+		if segs[1].Partial {
+			t.Fatalf("route %d: spine segment wrongly marked Partial", ri)
+		}
+	}
+}
+
+// TestTopoDeploymentNewVerifier is the regression test for the nil
+// Path dereference: the single-layout convenience entry points
+// (Deployment.NewVerifier / NewVerifierOn / Layout) must work on a
+// mesh deployment — resolving the key's first route layout — instead
+// of panicking on the nil linear path.
+func TestTopoDeploymentNewVerifier(t *testing.T) {
+	keys := netsim.TopoKeys(2)
+	topo := netsim.StarTopology(41, 4, keys)
+	tc := topoTraceConfig(keys, 20000, 1e8)
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := runTopo(t, topo, tc, pkts, meshDeployConfig())
+
+	if l := dep.Layout(); len(l.HOPs) != 0 {
+		t.Fatalf("mesh Layout() should be empty, got %d HOPs", len(l.HOPs))
+	}
+	v := dep.NewVerifier(keys[0]) // must not panic
+	lvs := v.VerifyAllLinks()
+	if len(lvs) != 2 {
+		t.Fatalf("verifier over the key's route: %d link verdicts, want 2", len(lvs))
+	}
+	var matched int
+	for _, lv := range lvs {
+		matched += lv.MatchedSamples
+	}
+	if matched == 0 {
+		t.Fatal("mesh NewVerifier matched no samples")
+	}
+	// An unrouted key yields an empty, harmless verifier.
+	if lvs := dep.NewVerifierOn(dep.NewStore(), netsim.TopoKeys(9)[8]).VerifyAllLinks(); len(lvs) != 0 {
+		t.Fatalf("unrouted key produced %d verdicts", len(lvs))
+	}
+}
+
+// TestLinkDomainsHyphenNames is the regression test for the
+// linear-path-era "A-B" name splitting: a domain legitimately named
+// with a hyphen ("edge-1") used to be misattributed; explicit
+// UpDomain/DownDomain fields now carry the truth, with the name split
+// still honored for legacy layouts.
+func TestLinkDomainsHyphenNames(t *testing.T) {
+	l := Layout{
+		HOPs: []receipt.HOPID{1, 2},
+		Segments: []Segment{{
+			Kind:       LinkSegment,
+			Up:         1,
+			Down:       2,
+			Name:       "edge-1-core",
+			UpDomain:   "edge-1",
+			DownDomain: "core",
+		}},
+	}
+	up, down, ok := l.LinkDomains(0)
+	if !ok || up != "edge-1" || down != "core" {
+		t.Fatalf("explicit domains ignored: got %q/%q ok=%v", up, down, ok)
+	}
+	// BlameHOP must resolve the owning domain through the same fields.
+	b := BlameHOP(l, 0, EvSignature, 1, 1, "x")
+	if len(b.Domains) != 1 || b.Domains[0] != "edge-1" {
+		t.Fatalf("BlameHOP domain: got %v, want [edge-1]", b.Domains)
+	}
+	// Legacy layout without explicit fields: the split fallback still
+	// answers (and documents the wrong answer hyphens would produce).
+	legacy := Layout{Segments: []Segment{{Kind: LinkSegment, Up: 1, Down: 2, Name: "A-B"}}}
+	up, down, ok = legacy.LinkDomains(0)
+	if !ok || up != "A" || down != "B" {
+		t.Fatalf("legacy fallback broken: got %q/%q ok=%v", up, down, ok)
+	}
+}
+
+// TestCheckLinkSymmetricReorderNoise is the regression test for the
+// batch/epoch noise-floor mismatch the mesh fixtures exposed: §5.3
+// marker-boundary reordering desynchronizes two honest HOPs' sample
+// sets symmetrically (each end records some packets the other did
+// not), and the batch CheckLink used to judge each direction in
+// isolation — an honest jittery link with ~40 missing records each way
+// read as two-sided fabrication. The symmetric component must be
+// absorbed up to the σ/µ-scaled floor; asymmetric excess (real loss or
+// lies) keeps its full weight.
+func TestCheckLinkSymmetricReorderNoise(t *testing.T) {
+	const (
+		markerRate = 0.004
+		sampleRate = 0.05
+	)
+	mu := hashing.ThresholdForRate(markerRate)
+	sigma := hashing.ThresholdForRate(sampleRate)
+	layout := Layout{
+		HOPs: []receipt.HOPID{1, 2},
+		Segments: []Segment{{
+			Kind: LinkSegment, Up: 1, Down: 2,
+			Name: "A-B", UpDomain: "A", DownDomain: "B",
+		}},
+	}
+	key := netsim.TopoKeys(1)[0]
+	pid := receipt.PathID{Key: key, MaxDiffNS: 3_000_000}
+	// All PktIDs are markers (digest above µ), so the verifier expects
+	// every record at both ends.
+	id := func(i int) uint64 { return ^uint64(0) - uint64(i) }
+	build := func(extraUp, extraDown int) *Verifier {
+		v := NewVerifierFor(layout, key)
+		v.SetConfig(VerifierConfig{
+			MarkerThreshold:  mu,
+			SampleThresholds: map[receipt.HOPID]uint64{1: sigma, 2: sigma},
+		})
+		var up, down []receipt.SampleRecord
+		for i := 0; i < 500; i++ { // matched population
+			up = append(up, receipt.SampleRecord{PktID: id(i), TimeNS: int64(i)})
+			down = append(down, receipt.SampleRecord{PktID: id(i), TimeNS: int64(i)})
+		}
+		for i := 0; i < extraUp; i++ {
+			up = append(up, receipt.SampleRecord{PktID: id(1000 + i), TimeNS: int64(1000 + i)})
+		}
+		for i := 0; i < extraDown; i++ {
+			down = append(down, receipt.SampleRecord{PktID: id(2000 + i), TimeNS: int64(2000 + i)})
+		}
+		v.AddSampleReceipt(1, receipt.SampleReceipt{Path: pid, Samples: up})
+		v.AddSampleReceipt(2, receipt.SampleReceipt{Path: pid, Samples: down})
+		return v
+	}
+
+	// Symmetric 40/40 (floor is 4·σ/µ = 50): honest reorder noise.
+	lv := build(40, 40).CheckLink(1, 2)
+	if !lv.Consistent() {
+		t.Fatalf("symmetric reorder noise flagged as violation: %v", lv)
+	}
+	if lv.MissingDown != 40 || lv.MissingUp != 40 {
+		t.Fatalf("missing counts not surfaced: %+v", lv)
+	}
+	// Asymmetric 80/0: suppression-shaped, must still be flagged.
+	if lv := build(80, 0).CheckLink(1, 2); lv.Consistent() {
+		t.Fatal("asymmetric missing records were absorbed as noise")
+	}
+	// Symmetric but huge (80/80 > floor): judged in full, flagged.
+	if lv := build(80, 80).CheckLink(1, 2); lv.Consistent() {
+		t.Fatal("oversized symmetric divergence was absorbed as noise")
+	}
+}
+
+// TestMeshBlameIngestionOrderInvariance: AttributeBlame over a mesh is
+// invariant under the order receipts arrive across HOPs. Per-HOP
+// streams keep their sealed order (the dissemination cursor guarantees
+// that); the interleaving across HOPs is adversarially shuffled with
+// fixed seeds.
+func TestMeshBlameIngestionOrderInvariance(t *testing.T) {
+	keys := netsim.TopoKeys(3)
+	topo := netsim.StarTopology(13, 4, keys)
+	ll, err := lossmodel.FromTargetLoss(0.25, 4, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Links[0].Loss = ll
+	tc := topoTraceConfig(keys, 20000, 2e8)
+	pkts, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := runTopo(t, topo, tc, pkts, meshDeployConfig())
+
+	// Per-HOP receipt streams in sealed order.
+	type hopStream struct {
+		hop     receipt.HOPID
+		samples []receipt.SampleReceipt
+		aggs    []receipt.AggReceipt
+	}
+	var streams []hopStream
+	for hop, proc := range dep.Processors {
+		streams = append(streams, hopStream{hop: hop, samples: proc.CombinedSamples(), aggs: proc.Aggs})
+	}
+
+	fingerprint := func(store *ReceiptStore) string {
+		perKey, verdicts := meshVerdicts(dep, store)
+		var b strings.Builder
+		for _, sb := range MergeBlames(perKey) {
+			fmt.Fprintf(&b, "%v keys=%d\n", sb.Blame, sb.Keys)
+		}
+		for _, key := range dep.Topo.Keys() {
+			for ri := range dep.KeyLayouts()[key] {
+				for _, lv := range verdicts[fmt.Sprintf("%v/%d", key, ri)] {
+					fmt.Fprintf(&b, "%v/%d %+v\n", key, ri, lv)
+				}
+			}
+		}
+		return b.String()
+	}
+
+	var want string
+	for shuffle := uint64(0); shuffle < 5; shuffle++ {
+		store := NewReceiptStore()
+		rng := stats.NewRNG(1000 + shuffle)
+		// Random interleaving across HOPs, order within a HOP preserved.
+		pos := make([]int, len(streams)) // next sample receipt per stream
+		aggDone := make([]bool, len(streams))
+		remaining := 0
+		for _, s := range streams {
+			remaining += len(s.samples) + 1 // +1 for the agg batch
+		}
+		for remaining > 0 {
+			i := rng.Intn(len(streams))
+			s := &streams[i]
+			if pos[i] < len(s.samples) {
+				store.AddSamples(s.hop, s.samples[pos[i]])
+				pos[i]++
+				remaining--
+			} else if !aggDone[i] {
+				store.AddAggs(s.hop, s.aggs)
+				aggDone[i] = true
+				remaining--
+			}
+		}
+		got := fingerprint(store)
+		if shuffle == 0 {
+			want = got
+			if !strings.Contains(want, "missing-receipt") {
+				t.Fatalf("fingerprint carries no shared-link findings:\n%s", want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("shuffle %d: blame attribution depends on ingestion order:\nwant:\n%s\ngot:\n%s", shuffle, want, got)
+		}
+	}
+}

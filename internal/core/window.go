@@ -458,7 +458,11 @@ type DomainBiasVerdict struct {
 // EpochKeyReport is one traffic key's verification outcome within one
 // epoch.
 type EpochKeyReport struct {
-	Key     packet.PathKey
+	Key packet.PathKey
+	// Route is the ordinal of the key's route layout this report
+	// covers — always 0 on a linear path, 0..N-1 for a mesh key with N
+	// ECMP routes (see RollingVerifier.SetKeyLayouts).
+	Route   int
 	Links   []LinkVerdict
 	Domains []DomainReport
 	// Blames attributes every link violation to its narrowest
@@ -519,6 +523,31 @@ type RollingVerifier struct {
 	win        *WindowedStore
 	quantiles  []float64
 	confidence float64
+	// keyLayouts, when set, overrides the single linear layout with
+	// per-traffic-key route layouts (mesh verification): each key
+	// verifies once per route. Keys absent from the map fall back to
+	// the constructor layout.
+	keyLayouts map[packet.PathKey][]Layout
+}
+
+// SetKeyLayouts installs per-key route layouts for mesh verification
+// (see Deployment.KeyLayouts). The constructor's layout remains the
+// fallback for keys not in the map. Call before verification starts.
+//
+// This lifts a linear-path assumption that was latent in rolling
+// verification: one Layout applied to every traffic key is only
+// correct when all keys follow the same HOP sequence — on a mesh each
+// key (and each ECMP route of a key) has its own.
+func (rv *RollingVerifier) SetKeyLayouts(layouts map[packet.PathKey][]Layout) {
+	rv.keyLayouts = layouts
+}
+
+// layoutsFor resolves the layouts a key verifies against.
+func (rv *RollingVerifier) layoutsFor(key packet.PathKey) []Layout {
+	if ls, ok := rv.keyLayouts[key]; ok && len(ls) > 0 {
+		return ls
+	}
+	return []Layout{rv.layout}
 }
 
 // NewRollingVerifier builds a rolling verifier over win. quantiles and
@@ -554,11 +583,44 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 	if len(keys) == 0 {
 		return rep, rv.win.MarkVerified(epoch)
 	}
-	rep.Keys = make([]EpochKeyReport, len(keys))
-	errs := make([]error, len(keys))
-	runParallel(resolveWorkers(rv.cfg.Workers), len(keys), func(i int) {
-		key := keys[i]
-		v := NewVerifierOn(rv.layout, view, key)
+	// One work item per (key, route layout): a linear path has exactly
+	// one layout per key; a mesh key verifies once per ECMP route.
+	// Links shared by a key's routes (the ECMP access legs) carry one
+	// verdict — on the first route that reaches them — so per-epoch
+	// violation and blame counts tally distinct link verifications,
+	// exactly like the batch sweep.
+	type keyWork struct {
+		key    packet.PathKey
+		layout Layout
+		route  int
+		// skip holds the layout's link ordinals already verified on an
+		// earlier route of the same key.
+		skip map[int]bool
+	}
+	var work []keyWork
+	for _, key := range keys {
+		seen := make(map[[2]receipt.HOPID]bool)
+		for ri, lay := range rv.layoutsFor(key) {
+			var skip map[int]bool
+			for li, l := range lay.Links() {
+				pair := [2]receipt.HOPID{l.Up, l.Down}
+				if seen[pair] {
+					if skip == nil {
+						skip = make(map[int]bool)
+					}
+					skip[li] = true
+					continue
+				}
+				seen[pair] = true
+			}
+			work = append(work, keyWork{key: key, layout: lay, route: ri, skip: skip})
+		}
+	}
+	rep.Keys = make([]EpochKeyReport, len(work))
+	errs := make([]error, len(work))
+	runParallel(resolveWorkers(rv.cfg.Workers), len(work), func(i int) {
+		key, layout := work[i].key, work[i].layout
+		v := NewVerifierOn(layout, view, key)
 		v.SetConfig(rv.cfg)
 		scope := &epochScope{
 			view:   v,
@@ -568,11 +630,14 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 			headComplete: epoch <= 1,
 			tailComplete: rv.win.tailComplete(epoch),
 		}
-		kr := EpochKeyReport{Key: key}
-		for li, l := range rv.layout.Links() {
+		kr := EpochKeyReport{Key: key, Route: work[i].route}
+		for li, l := range layout.Links() {
+			if work[i].skip[li] {
+				continue
+			}
 			kr.Links = append(kr.Links, scope.epochLinkCheck(key, li, l.Up, l.Down))
 		}
-		for _, seg := range rv.layout.DomainSegments() {
+		for _, seg := range layout.DomainSegments() {
 			dr, err := scope.epochDomainReport(key, seg, rv.quantiles, rv.confidence)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: epoch %d key %v: %w", epoch, key, err)
@@ -580,9 +645,9 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 			}
 			kr.Domains = append(kr.Domains, dr)
 		}
-		kr.Blames = AttributeBlame(rv.layout, epoch, kr.Links)
+		kr.Blames = AttributeBlame(layout, epoch, kr.Links)
 		if rv.cfg.BiasChecks {
-			for _, seg := range rv.layout.DomainSegments() {
+			for _, seg := range layout.DomainSegments() {
 				bias, err := v.CheckMarkerBias(seg.Up, seg.Down)
 				if err != nil {
 					continue // too few samples this epoch to judge

@@ -1,0 +1,96 @@
+package dissem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+)
+
+// fuzzBundle builds a small valid bundle for seeding.
+func fuzzBundle(epoch uint64) *Bundle {
+	path := receipt.PathID{
+		Key: packet.PathKey{
+			Src: packet.MakePrefix(10, 1, 0, 0, 16),
+			Dst: packet.MakePrefix(172, 16, 0, 0, 16),
+		},
+		PrevHOP:   2,
+		NextHOP:   4,
+		MaxDiffNS: 3_000_000,
+	}
+	return &Bundle{
+		Origin: 3,
+		Seq:    9,
+		Epoch:  epoch,
+		Samples: []receipt.SampleReceipt{{
+			Path:    path,
+			Samples: []receipt.SampleRecord{{PktID: 1, TimeNS: 2}, {PktID: 3, TimeNS: 4}},
+		}},
+		Aggs: []receipt.AggReceipt{{
+			Path:   path,
+			Agg:    receipt.AggID{First: 5, Last: 6},
+			PktCnt: 77,
+		}},
+	}
+}
+
+// FuzzDecodeBundle: DecodeBundle must be total over both the current
+// v2 encoding and the legacy pre-epoch v1 encoding — any byte string
+// either decodes into a bundle that re-encodes byte-identically under
+// its own version, or returns an error wrapping ErrCorruptBundle;
+// never a panic, whatever the headers claim.
+func FuzzDecodeBundle(f *testing.F) {
+	v2 := fuzzBundle(4).Encode()
+	f.Add(v2)
+	v1, err := fuzzBundle(0).EncodeV1()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1)
+	f.Add([]byte{})
+	f.Add([]byte("VPM2"))
+	f.Add([]byte("VPM1"))
+	f.Add([]byte("VPM3----------------------------"))
+	f.Add(v2[:len(v2)-5])
+	f.Add(append(append([]byte{}, v2...), 0xAA)) // trailing byte
+	corrupt := append([]byte{}, v2...)
+	corrupt[33] ^= 0xff // inside the first receipt
+	f.Add(corrupt)
+	// Header claiming 4 billion samples.
+	huge := append([]byte{}, v2[:24]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBundle(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptBundle) {
+				t.Fatalf("untyped decode error %v (%T)", err, err)
+			}
+			if b != nil {
+				t.Fatal("error with a non-nil bundle")
+			}
+			return
+		}
+		var re []byte
+		switch [4]byte(data[0:4]) {
+		case bundleMagic:
+			re = b.Encode()
+		case bundleMagicV1:
+			if b.Epoch != 0 {
+				t.Fatalf("v1 bundle decoded with epoch %d", b.Epoch)
+			}
+			re, err = b.EncodeV1()
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("accepted unknown magic %q", data[0:4])
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encoding differs:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

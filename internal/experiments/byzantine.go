@@ -352,6 +352,14 @@ func AttackMatrix(cfg Config) ([]MatrixRow, error) {
 			rows = append(rows, judge(&sc, mode, out, baselines[mode]))
 		}
 	}
+	// Mesh rows: the same guarantee on a shared-link topology — an
+	// adversary on a link carrying many traffic keys is exposed by all
+	// of them, without smearing blame onto the disjoint honest routes.
+	meshRows, err := MeshAttackRows(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, meshRows...)
 	return rows, nil
 }
 

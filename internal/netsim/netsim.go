@@ -277,6 +277,23 @@ type Runner struct {
 	p          *Path
 	jitterRngs []*stats.RNG
 	linkRngs   []*stats.RNG
+	rep        *replayer
+}
+
+// pendingObs is one withheld observation, self-contained.
+type pendingObs struct {
+	pkt    packet.Packet
+	digest uint64
+	timeNS int64
+}
+
+// replayer owns the arrival-order replay of per-HOP observation
+// streams: the per-HOP minimum observation delays that bound what a
+// future packet can still interleave with, and the withheld
+// observations carried across segment boundaries. The linear Runner
+// and the mesh TopoRunner share it — replay semantics are identical
+// whatever graph produced the observations.
+type replayer struct {
 	// minObsNS is each HOP's minimum observation delay after a
 	// packet's send time: propagation + base transit (jitter,
 	// congestion and queueing only add) plus the HOP's clock skew.
@@ -286,11 +303,105 @@ type Runner struct {
 	pending [][]pendingObs
 }
 
-// pendingObs is one withheld observation, self-contained.
-type pendingObs struct {
-	pkt    packet.Packet
-	digest uint64
-	timeNS int64
+// newReplayer sizes the replay state for HOP IDs 1..nHops.
+func newReplayer(nHops int) *replayer {
+	return &replayer{
+		minObsNS: make([]int64, nHops+1),
+		pending:  make([][]pendingObs, nHops+1),
+	}
+}
+
+// replay delivers every HOP's deliverable observations in arrival
+// order: HOPs replay concurrently (one goroutine per observer group,
+// bounded by a worker pool); within a HOP, observations are delivered
+// in arrival-order batches through the BatchObserver fast path. HOPs
+// that share an Observer instance replay sequentially in one
+// goroutine, preserving the serial semantics an aliased observer
+// expects. Observations past the horizon (plus the HOP's minimum
+// observation delay) are withheld for the next segment's merge.
+func (r *replayer) replay(obsPerHop [][]hopObservation, observers map[receipt.HOPID]Observer, pkts []packet.Packet, digests []uint64, horizonNS int64) {
+	nHops := len(r.minObsNS) - 1
+	var groups []replayGroup
+	for hop := 1; hop <= nHops; hop++ {
+		obs, ok := observers[receipt.HOPID(hop)]
+		if !ok || obs == nil {
+			continue
+		}
+		if gi := findGroup(groups, obs); gi >= 0 {
+			groups[gi].hops = append(groups[gi].hops, hop)
+		} else {
+			groups = append(groups, replayGroup{obs: obs, hops: []int{hop}})
+		}
+	}
+	sem := make(chan struct{}, replayWorkers())
+	var wg sync.WaitGroup
+	for gi := range groups {
+		g := &groups[gi]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			batch := make([]Observation, 0, ReplayBatchSize)
+			for _, hop := range g.hops {
+				events := obsPerHop[hop]
+				sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
+				// Everything observable past the cutoff could still
+				// interleave with a future packet's observation: hold
+				// it back for the next segment's merge. Ties at the
+				// cutoff are safe to deliver — a future observation at
+				// the same timestamp sorts after them (stable order is
+				// insertion order, and future packets insert later).
+				cutoff := horizonNS + r.minObsNS[hop]
+				pend := r.pending[hop]
+				pn := len(pend)
+				for pn > 0 && pend[pn-1].timeNS > cutoff {
+					pn--
+				}
+				en := len(events)
+				for en > 0 && events[en-1].timeNS > cutoff {
+					en--
+				}
+				// Merge the two time-sorted deliverable runs, pending
+				// first on ties (earlier insertion order).
+				batch = batch[:0]
+				pi, ei := 0, 0
+				for pi < pn || ei < en {
+					if pi < pn && (ei >= en || pend[pi].timeNS <= events[ei].timeNS) {
+						po := &pend[pi]
+						batch = append(batch, Observation{Pkt: &po.pkt, Digest: po.digest, TimeNS: po.timeNS})
+						pi++
+					} else {
+						e := events[ei]
+						batch = append(batch, Observation{Pkt: &pkts[e.pktIdx], Digest: digests[e.pktIdx], TimeNS: e.timeNS})
+						ei++
+					}
+					if len(batch) == ReplayBatchSize {
+						Deliver(g.obs, batch)
+						batch = batch[:0]
+					}
+				}
+				if len(batch) > 0 {
+					Deliver(g.obs, batch)
+					batch = batch[:0]
+				}
+				// Withheld observations outlive this segment's packet
+				// slice: copy them out. The concatenation is NOT sorted
+				// — an old pending observation delayed by congestion
+				// can carry a later timestamp than a newly withheld one
+				// — so the stable sort below is load-bearing: it
+				// restores time order while keeping pending entries
+				// ahead of new ones on ties (their insertion order).
+				rest := pend[:0]
+				rest = append(rest, pend[pn:]...)
+				for _, e := range events[en:] {
+					rest = append(rest, pendingObs{pkt: pkts[e.pktIdx], digest: digests[e.pktIdx], timeNS: e.timeNS})
+				}
+				sort.SliceStable(rest, func(a, b int) bool { return rest[a].timeNS < rest[b].timeNS })
+				r.pending[hop] = rest
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // NewRunner validates the path and prepares its persistent simulation
@@ -305,8 +416,7 @@ func NewRunner(p *Path) (*Runner, error) {
 		p:          p,
 		jitterRngs: make([]*stats.RNG, len(p.Domains)),
 		linkRngs:   make([]*stats.RNG, len(p.Links)),
-		minObsNS:   make([]int64, nHops+1),
-		pending:    make([][]pendingObs, nHops+1),
+		rep:        newReplayer(nHops),
 	}
 	for i := range r.jitterRngs {
 		r.jitterRngs[i] = rng.Split()
@@ -321,12 +431,12 @@ func NewRunner(p *Path) (*Runner, error) {
 		if d > 0 {
 			t += p.Links[d-1].DelayNS
 		}
-		r.minObsNS[in] = t + p.Domains[d].IngressSkewNS
+		r.rep.minObsNS[in] = t + p.Domains[d].IngressSkewNS
 		if eg != in {
 			t += p.Domains[d].BaseDelayNS
-			r.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
+			r.rep.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
 		} else if d == 0 {
-			r.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
+			r.rep.minObsNS[eg] = t + p.Domains[d].EgressSkewNS
 		}
 	}
 	return r, nil
@@ -438,94 +548,9 @@ func (r *Runner) RunSegment(pkts []packet.Packet, observers map[receipt.HOPID]Ob
 		}
 	}
 
-	// Replay each HOP's observations in arrival order. HOPs replay
-	// concurrently (one goroutine per observer group, bounded by a
-	// worker pool); within a HOP, observations are delivered in
-	// arrival-order batches through the BatchObserver fast path. HOPs
-	// that share an Observer instance replay sequentially in one
-	// goroutine, preserving the serial semantics an aliased observer
-	// expects.
-	var groups []replayGroup
-	for hop := 1; hop <= nHops; hop++ {
-		obs, ok := observers[receipt.HOPID(hop)]
-		if !ok || obs == nil {
-			continue
-		}
-		if gi := findGroup(groups, obs); gi >= 0 {
-			groups[gi].hops = append(groups[gi].hops, hop)
-		} else {
-			groups = append(groups, replayGroup{obs: obs, hops: []int{hop}})
-		}
-	}
-	sem := make(chan struct{}, replayWorkers())
-	var wg sync.WaitGroup
-	for gi := range groups {
-		g := &groups[gi]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			batch := make([]Observation, 0, ReplayBatchSize)
-			for _, hop := range g.hops {
-				events := obsPerHop[hop]
-				sort.SliceStable(events, func(a, b int) bool { return events[a].timeNS < events[b].timeNS })
-				// Everything observable past the cutoff could still
-				// interleave with a future packet's observation: hold
-				// it back for the next segment's merge. Ties at the
-				// cutoff are safe to deliver — a future observation at
-				// the same timestamp sorts after them (stable order is
-				// insertion order, and future packets insert later).
-				cutoff := horizonNS + r.minObsNS[hop]
-				pend := r.pending[hop]
-				pn := len(pend)
-				for pn > 0 && pend[pn-1].timeNS > cutoff {
-					pn--
-				}
-				en := len(events)
-				for en > 0 && events[en-1].timeNS > cutoff {
-					en--
-				}
-				// Merge the two time-sorted deliverable runs, pending
-				// first on ties (earlier insertion order).
-				batch = batch[:0]
-				pi, ei := 0, 0
-				for pi < pn || ei < en {
-					if pi < pn && (ei >= en || pend[pi].timeNS <= events[ei].timeNS) {
-						po := &pend[pi]
-						batch = append(batch, Observation{Pkt: &po.pkt, Digest: po.digest, TimeNS: po.timeNS})
-						pi++
-					} else {
-						e := events[ei]
-						batch = append(batch, Observation{Pkt: &pkts[e.pktIdx], Digest: digests[e.pktIdx], TimeNS: e.timeNS})
-						ei++
-					}
-					if len(batch) == ReplayBatchSize {
-						Deliver(g.obs, batch)
-						batch = batch[:0]
-					}
-				}
-				if len(batch) > 0 {
-					Deliver(g.obs, batch)
-					batch = batch[:0]
-				}
-				// Withheld observations outlive this segment's packet
-				// slice: copy them out. The concatenation is NOT sorted
-				// — an old pending observation delayed by congestion
-				// can carry a later timestamp than a newly withheld one
-				// — so the stable sort below is load-bearing: it
-				// restores time order while keeping pending entries
-				// ahead of new ones on ties (their insertion order).
-				rest := pend[:0]
-				rest = append(rest, pend[pn:]...)
-				for _, e := range events[en:] {
-					rest = append(rest, pendingObs{pkt: pkts[e.pktIdx], digest: digests[e.pktIdx], timeNS: e.timeNS})
-				}
-				sort.SliceStable(rest, func(a, b int) bool { return rest[a].timeNS < rest[b].timeNS })
-				r.pending[hop] = rest
-			}
-		}()
-	}
-	wg.Wait()
+	// Replay each HOP's observations in arrival order (see
+	// replayer.replay for the concurrency and withholding rules).
+	r.rep.replay(obsPerHop, observers, pkts, digests, horizonNS)
 	return res, nil
 }
 

@@ -58,6 +58,13 @@ func decodePathID(b []byte) (PathID, error) {
 	p.PrevHOP = HOPID(binary.LittleEndian.Uint32(b[10:14]))
 	p.NextHOP = HOPID(binary.LittleEndian.Uint32(b[14:18]))
 	p.MaxDiffNS = int64(binary.LittleEndian.Uint64(b[18:26]))
+	if b[26] != 0 || b[27] != 0 {
+		// The two padding bytes must be zero: the encoding is
+		// canonical — one byte string per receipt — so a decoder that
+		// silently dropped set padding bits would accept two distinct
+		// encodings of the same receipt (found by FuzzDecodeReceipt).
+		return PathID{}, fmt.Errorf("%w: non-zero PathID padding", ErrCorrupt)
+	}
 	return p, nil
 }
 

@@ -1,0 +1,113 @@
+package receipt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vpm/internal/packet"
+)
+
+// fuzzSampleReceipt is a small valid sample receipt for seeding.
+func fuzzSampleReceipt() SampleReceipt {
+	return SampleReceipt{
+		Path: PathID{
+			Key: packet.PathKey{
+				Src: packet.MakePrefix(10, 1, 0, 0, 16),
+				Dst: packet.MakePrefix(172, 16, 0, 0, 16),
+			},
+			PrevHOP:   2,
+			NextHOP:   4,
+			MaxDiffNS: 3_000_000,
+		},
+		Samples: []SampleRecord{{PktID: 0xdeadbeef, TimeNS: 12345}, {PktID: 7, TimeNS: -9}},
+	}
+}
+
+// fuzzAggReceipt is a small valid aggregate receipt for seeding.
+func fuzzAggReceipt() AggReceipt {
+	r := AggReceipt{
+		Path:   fuzzSampleReceipt().Path,
+		Agg:    AggID{First: 11, Last: 22},
+		PktCnt: 1000,
+	}
+	r.AggTrans = []SampleRecord{{PktID: 22, TimeNS: 5}}
+	return r
+}
+
+// FuzzDecodeReceipt: Decode must be total — any byte string either
+// parses into exactly one receipt whose re-encoding reproduces the
+// consumed bytes, or returns an error wrapping ErrCorrupt. It must
+// never panic, whatever the header claims about record counts.
+func FuzzDecodeReceipt(f *testing.F) {
+	f.Add(fuzzSampleReceipt().AppendBinary(nil))
+	f.Add(fuzzAggReceipt().AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{kindSample})
+	f.Add([]byte{3, 0, 0, 0})
+	trunc := fuzzAggReceipt().AppendBinary(nil)
+	f.Add(trunc[:len(trunc)-3])
+	// A header claiming 4 billion records backed by 4 bytes.
+	huge := append([]byte{kindSample}, make([]byte, pathIDLen)...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, a, rest, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error %v (%T)", err, err)
+			}
+			if s != nil || a != nil {
+				t.Fatal("error with a non-nil receipt")
+			}
+			return
+		}
+		if (s == nil) == (a == nil) {
+			t.Fatalf("decode returned %v/%v receipts", s != nil, a != nil)
+		}
+		var re []byte
+		if s != nil {
+			re = s.AppendBinary(nil)
+		} else {
+			re = a.AppendBinary(nil)
+		}
+		consumed := data[:len(data)-len(rest)]
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("re-encoding differs from consumed bytes:\n in: %x\nout: %x", consumed, re)
+		}
+	})
+}
+
+// FuzzParseStoreKey: ParseStoreKey must be total and strict — any
+// string either round-trips exactly (one accepted spelling per key) or
+// returns an error wrapping ErrBadStoreKey; never a panic.
+func FuzzParseStoreKey(f *testing.F) {
+	f.Add("HOP3 10.1.0.0/16->172.16.0.0/16")
+	f.Add("HOP0 0.0.0.0/0->255.255.255.255/32")
+	f.Add("HOP4294967295 10.0.0.0/8->192.168.0.0/24")
+	f.Add("HOP3 10.1.0.0/16")
+	f.Add("HOP03 10.1.0.0/16->172.16.0.0/16")
+	f.Add("HOP3 10.1.2.3/16->172.16.0.0/16") // host bits set
+	f.Add("HOPx 1.2.3.4/32->4.3.2.1/32")
+	f.Add("")
+	f.Add("HOP1 1.2.3.4/33->1.2.3.0/24")
+	f.Add("HOP1 01.2.3.4/32->1.2.3.4/32")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseStoreKey(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadStoreKey) {
+				t.Fatalf("untyped parse error %v (%T)", err, err)
+			}
+			return
+		}
+		if got := k.String(); got != s {
+			t.Fatalf("accepted non-canonical spelling %q of %q", s, got)
+		}
+		k2, err := ParseStoreKey(k.String())
+		if err != nil || k2 != k {
+			t.Fatalf("round-trip failed: %v -> %q -> %v (%v)", k, k.String(), k2, err)
+		}
+	})
+}

@@ -1,6 +1,13 @@
 package receipt
 
-import "vpm/internal/packet"
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vpm/internal/packet"
+)
 
 // StoreKey identifies one receipt stream inside an indexed receipt
 // store: the reporting HOP and the traffic (origin-prefix pair) the
@@ -37,3 +44,35 @@ func (k StoreKey) Compare(o StoreKey) int {
 
 // String renders the store key.
 func (k StoreKey) String() string { return k.HOP.String() + " " + k.Key.String() }
+
+// ErrBadStoreKey reports an unparseable store-key string.
+var ErrBadStoreKey = errors.New("receipt: bad store key")
+
+// ParseStoreKey parses the form String emits
+// ("HOP3 10.1.0.0/16->172.16.0.0/16") — the textual identity of one
+// receipt stream, as it appears in logs, query parameters and archive
+// filenames. The parser is strict (one accepted spelling per key, no
+// normalization) and total: malformed input of any shape returns an
+// error wrapping ErrBadStoreKey, never a panic (FuzzParseStoreKey).
+func ParseStoreKey(s string) (StoreKey, error) {
+	hopStr, keyStr, ok := strings.Cut(s, " ")
+	if !ok {
+		return StoreKey{}, fmt.Errorf("%w: %q has no separating space", ErrBadStoreKey, s)
+	}
+	digits, ok := strings.CutPrefix(hopStr, "HOP")
+	if !ok {
+		return StoreKey{}, fmt.Errorf("%w: %q does not start with HOP<n>", ErrBadStoreKey, s)
+	}
+	if digits == "" || (len(digits) > 1 && digits[0] == '0') {
+		return StoreKey{}, fmt.Errorf("%w: bad HOP ordinal %q", ErrBadStoreKey, digits)
+	}
+	n, err := strconv.ParseUint(digits, 10, 32)
+	if err != nil {
+		return StoreKey{}, fmt.Errorf("%w: bad HOP ordinal %q", ErrBadStoreKey, digits)
+	}
+	key, err := packet.ParsePathKey(keyStr)
+	if err != nil {
+		return StoreKey{}, fmt.Errorf("%w: %v", ErrBadStoreKey, err)
+	}
+	return StoreKey{HOP: HOPID(n), Key: key}, nil
+}

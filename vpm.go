@@ -75,6 +75,22 @@
 // a SimRunner, whose network state persists across segments. See
 // examples/continuous and cmd/vpm-node.
 //
+// # Mesh & multipath topologies
+//
+// Beyond linear paths, a Topology models an arbitrary directed domain
+// graph: every directed link contributes an egress and an ingress HOP,
+// so a link shared by many origin-prefix paths is one HOP pair whose
+// collectors file receipts for every traffic key crossing it. A Route
+// is one key's HOP sequence through the graph; several routes per key
+// is ECMP multipath, hash-split per packet by the TopoRunner (whose
+// segmented replay semantics match SimRunner's exactly). Named
+// families — StarTopology, TreeTopology, ClosTopology,
+// RandomASTopology — build mesh fixtures; NewTopoDeployment places
+// collectors on every routed HOP, verification runs per (key, route)
+// against RouteLayouts, and MergeBlames condenses per-key findings so
+// a faulty shared link is named by every key crossing it while honest
+// disjoint routes stay clean. See `vpm-bench -run topo`.
+//
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	pkts, _ := vpm.GenerateTrace(vpm.TraceConfig{
@@ -361,6 +377,66 @@ type (
 // Fig1Path builds the paper's five-domain example topology
 // (S -> L -> X -> N -> D, HOPs 1..8).
 func Fig1Path(seed uint64) *Path { return netsim.Fig1Path(seed) }
+
+// Mesh & multipath topologies.
+type (
+	// Topology is a directed domain graph with a route table.
+	Topology = netsim.Topology
+	// TopoLink is one directed inter-domain link of a topology.
+	TopoLink = netsim.TopoLink
+	// Route is one traffic key's HOP sequence through a topology.
+	Route = netsim.Route
+	// TopoRunner drives traffic across a topology in segments.
+	TopoRunner = netsim.TopoRunner
+	// TopoResult is a topology simulation's ground truth.
+	TopoResult = netsim.TopoResult
+	// SharedBlame is one blame finding merged across traffic keys.
+	SharedBlame = core.SharedBlame
+)
+
+// NewTopoRunner prepares persistent mesh simulation state.
+func NewTopoRunner(t *Topology, table *PrefixTable) (*TopoRunner, error) {
+	return netsim.NewTopoRunner(t, table)
+}
+
+// NewTopoDeployment places collectors on every routed HOP of a
+// topology; verify per (key, route) via Deployment.KeyLayouts.
+func NewTopoDeployment(t *Topology, table *PrefixTable, cfg DeployConfig) (*Deployment, error) {
+	return core.NewTopoDeployment(t, table, cfg)
+}
+
+// MergeBlames condenses per-key blame findings into shared findings
+// (one per evidence class and implicated HOP set, contributing keys
+// counted) — how a mesh verifier names a faulty shared link.
+func MergeBlames(perKey map[PathKey][]Blame) []SharedBlame { return core.MergeBlames(perKey) }
+
+// StarTopology builds a hub-and-leaves mesh whose access link is
+// shared by every key.
+func StarTopology(seed uint64, leaves int, keys []PathKey) *Topology {
+	return netsim.StarTopology(seed, leaves, keys)
+}
+
+// TreeTopology builds a fanout-ary tree with leaf-to-leaf routes
+// crossing the shared root backbone.
+func TreeTopology(seed uint64, depth, fanout int, keys []PathKey) *Topology {
+	return netsim.TreeTopology(seed, depth, fanout, keys)
+}
+
+// ClosTopology builds a leaf-spine fabric with ECMP multipath across
+// the spines.
+func ClosTopology(seed uint64, edges, spines int, keys []PathKey) *Topology {
+	return netsim.ClosTopology(seed, edges, spines, keys)
+}
+
+// RandomASTopology builds a random AS-style graph with shortest-path
+// routes between stub domains.
+func RandomASTopology(seed uint64, n, extra int, keys []PathKey) *Topology {
+	return netsim.RandomASTopology(seed, n, extra, keys)
+}
+
+// TopoKeys returns n distinct origin-prefix traffic keys for topology
+// route tables.
+func TopoKeys(n int) []PathKey { return netsim.TopoKeys(n) }
 
 // BurstyUDPScenario is the Figure 2 congestion scenario.
 func BurstyUDPScenario(seed uint64) CongestionConfig { return delaymodel.BurstyUDPScenario(seed) }
