@@ -8,6 +8,7 @@ package vpm
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"vpm/internal/core"
@@ -185,6 +186,46 @@ func benchCollectorConfig(b *testing.B, shards int) core.CollectorConfig {
 	return experiments.ThroughputCollectorConfig(benchTraceConfig().Table(), shards)
 }
 
+// observeSteadyState drives a collector benchmark with the
+// steady-state protocol shared by TestObserveBatchSteadyStateZeroAlloc
+// and the throughput experiment: warmup passes grow every accumulator
+// and prime the recycled buffers, timestamps shift forward by one
+// workload span per pass (so the reordering window keeps evicting
+// instead of accumulating a restarted clock), and each iteration's
+// Drain hands its buffers back via Recycle. Only the feed is timed;
+// the allocs/pkt metric meters the whole cycle. Returns allocations
+// per packet over the measured iterations.
+func observeSteadyState(b *testing.B, col core.PathCollector, workload []netsim.Observation, feed func()) float64 {
+	b.Helper()
+	span := experiments.WorkloadSpan(workload)
+	for i := 0; i < 3; i++ {
+		experiments.ShiftWorkload(workload, span)
+		feed()
+		samples, aggs := col.Drain()
+		col.Recycle(samples, aggs)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		experiments.ShiftWorkload(workload, span)
+		b.StartTimer()
+		feed()
+		b.StopTimer()
+		samples, aggs := col.Drain()
+		col.Recycle(samples, aggs)
+		b.StartTimer()
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerPkt := float64(after.Mallocs-before.Mallocs) / (float64(b.N) * float64(len(workload)))
+	b.ReportMetric(allocsPerPkt, "allocs/pkt")
+	reportThroughput(b, len(workload))
+	return allocsPerPkt
+}
+
 // BenchmarkObserveSerial is the baseline of the sharding acceptance
 // comparison: single-packet Observe calls through the netsim.Observer
 // interface, one virtual call, classification and map lookup per
@@ -196,20 +237,19 @@ func BenchmarkObserveSerial(b *testing.B) {
 		b.Fatal(err)
 	}
 	var obs netsim.Observer = col
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	observeSteadyState(b, col, workload, func() {
 		for j := range workload {
 			obs.Observe(workload[j].Pkt, workload[j].Digest, workload[j].TimeNS)
 		}
-		col.Drain()
-	}
-	reportThroughput(b, len(workload))
+	})
 }
 
 // BenchmarkObserveBatchSharded measures the sharded batch pipeline at
-// 1/2/4/8 shards on the same Fig1 workload. The acceptance bar is
-// ≥ 2× BenchmarkObserveSerial's packet rate at 4 shards.
+// 1/2/4/8 shards on the same Fig1 workload. The acceptance bars: ≥ 2×
+// BenchmarkObserveSerial's packet rate at 4 shards, and steady-state
+// allocations within core.AllocsPerPktBudget — the CI zero-alloc gate
+// fails the build when the observe → drain → recycle cycle starts
+// allocating again.
 func BenchmarkObserveBatchSharded(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
@@ -219,9 +259,7 @@ func BenchmarkObserveBatchSharded(b *testing.B) {
 				b.Fatal(err)
 			}
 			const batch = experiments.ThroughputBatchSize
-			b.ResetTimer()
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
+			allocsPerPkt := observeSteadyState(b, col, workload, func() {
 				for off := 0; off < len(workload); off += batch {
 					end := off + batch
 					if end > len(workload) {
@@ -229,9 +267,11 @@ func BenchmarkObserveBatchSharded(b *testing.B) {
 					}
 					col.ObserveBatch(workload[off:end])
 				}
-				col.Drain()
+			})
+			if allocsPerPkt > core.AllocsPerPktBudget {
+				b.Fatalf("steady-state allocations %.6f/pkt exceed budget %.4f",
+					allocsPerPkt, core.AllocsPerPktBudget)
 			}
-			reportThroughput(b, len(workload))
 		})
 	}
 }

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo|churn]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
 //	          [-json] [-shards 1,2,4,8] [-workers 1,2,4,8]
+//	          [-churn-keys 1048576] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The defaults reproduce the paper's scale (100k packets/second for
 // one second per experiment point). Use a smaller -duration for a
@@ -30,6 +31,14 @@
 // localization reported per row:
 //
 //	vpm-bench -run topo -json -shards 1,4 -workers 1,4 -o BENCH_topo.json
+//
+// -run throughput also meters steady-state heap behavior (allocs,
+// bytes and encoded receipt bytes per packet across the whole
+// observe → drain → encode → recycle cycle) and adds a sketch-backend
+// row; -run churn cycles -churn-keys distinct traffic keys through
+// the collector in disjoint waves with idle-path eviction on and
+// reports whether the live heap stays flat. -cpuprofile/-memprofile
+// write pprof profiles of whichever experiment runs.
 package main
 
 import (
@@ -38,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,19 +58,47 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo")
-		duration = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
-		rate     = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		markdown = flag.Bool("markdown", false, "emit Markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (throughput, verify and epochs experiments only)")
-		shards   = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -run throughput")
-		workers  = flag.String("workers", "1,2,4,8", "comma-separated verifier worker-pool sizes for -run verify")
-		epochs   = flag.Int("epochs", 8, "epochs to rotate through for -run epochs")
-		retain   = flag.String("retention", "2,4", "comma-separated retention windows for -run epochs")
-		out      = flag.String("o", "", "write output to file instead of stdout")
+		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn")
+		duration   = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
+		rate       = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		markdown   = flag.Bool("markdown", false, "emit Markdown tables")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (throughput, verify and epochs experiments only)")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -run throughput")
+		workers    = flag.String("workers", "1,2,4,8", "comma-separated verifier worker-pool sizes for -run verify")
+		epochs     = flag.Int("epochs", 8, "epochs to rotate through for -run epochs (and key waves for -run churn)")
+		retain     = flag.String("retention", "2,4", "comma-separated retention windows for -run epochs")
+		churnKeys  = flag.Int("churn-keys", 1<<20, "distinct traffic keys to cycle through for -run churn")
+		out        = flag.String("o", "", "write output to file instead of stdout")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the experiments finish) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vpm-bench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	shardCounts, err := parseCounts(*shards)
 	if err != nil {
@@ -80,8 +119,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks or topo"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" && *run != "churn" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, topo or churn"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -272,6 +311,32 @@ func main() {
 			fmt.Fprint(w, experiments.TopoRender(rows, *markdown))
 		}
 	}
+	if *run == "churn" { // too heavy for "all": cycles -churn-keys distinct paths
+		ran = true
+		// The sketch row's shard count bounds the fan-out; churn uses
+		// the largest requested shard count.
+		churnShards := shardCounts[len(shardCounts)-1]
+		row, err := experiments.Churn(*churnKeys, *epochs, 4, churnShards)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string               `json:"experiment"`
+				Seed       uint64               `json:"seed"`
+				Shards     int                  `json:"shards"`
+				Row        experiments.ChurnRow `json:"row"`
+			}{"churn", cfg.Seed, churnShards, row}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Key churn — monitoring-cache eviction under path turnover")
+			fmt.Fprint(w, experiments.ChurnRender(row, *markdown))
+		}
+	}
 	if wanted("epochs") {
 		ran = true
 		rows, err := experiments.Epochs(cfg, *epochs, retentions)
@@ -298,7 +363,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn)", *run))
 	}
 }
 

@@ -70,6 +70,7 @@ type Partitioner struct {
 	recentHead int
 	pending    []pendingReceipt
 	closed     []receipt.AggReceipt
+	spare      []receipt.AggReceipt // recycled accumulator for the next Take
 	lastTime   int64
 	observed   uint64
 	cutsSeen   uint64
@@ -154,33 +155,60 @@ func (p *Partitioner) Observe(pktID uint64, tNS int64) {
 // ObserveBatch processes a slice of observations (PktID = digest,
 // TimeNS = observation time) in order — the batch hook the sharded
 // collector's per-path runs feed. Semantically identical to calling
-// Observe per record; the common case (not a cutting point, no
-// pending post-cut windows to feed) is inlined so only the packets
-// around a cut pay the full call.
+// Observe per record. Cutting points are rare (δ is a per-mille-scale
+// rate), so the batch is consumed as cut-delimited segments: one
+// threshold comparison per packet to find the next cut, then a single
+// bulk extend of the open aggregate and the recent window — the
+// steady-state cost is a compare and a memmove. Only the packets
+// around a cut (and any packets while post-cut AggTrans windows are
+// still collecting) pay the per-packet call.
 func (p *Partitioner) ObserveBatch(recs []receipt.SampleRecord) {
-	if p.windowNS <= 0 {
-		for i := range recs {
-			p.Observe(recs[i].PktID, recs[i].TimeNS)
-		}
-		return
-	}
 	delta := p.delta
-	for i := range recs {
-		r := recs[i]
-		if hashing.Exceeds(r.PktID, delta) || len(p.pending) > 0 {
-			p.Observe(r.PktID, r.TimeNS)
+	for len(recs) > 0 {
+		if len(p.pending) > 0 {
+			// Post-cut windows are open: feed packets one at a time so
+			// pending AggTrans windows fill and flush at the same
+			// points they would under per-packet observation.
+			i := 0
+			for i < len(recs) && len(p.pending) > 0 {
+				p.Observe(recs[i].PktID, recs[i].TimeNS)
+				i++
+			}
+			recs = recs[i:]
 			continue
 		}
-		// Fast path: extend the open aggregate and the recent window.
-		p.observed++
-		p.lastTime = r.TimeNS
-		p.evictRecent(r.TimeNS)
-		if !p.hasOpen {
-			p.openFirst, p.hasOpen = r.PktID, true
+		n := 0
+		for n < len(recs) && !hashing.Exceeds(recs[n].PktID, delta) {
+			n++
 		}
-		p.openLast = r.PktID
-		p.openCnt++
-		p.recent = append(p.recent, r)
+		if n > 0 {
+			p.extendOpen(recs[:n])
+		}
+		if n == len(recs) {
+			return
+		}
+		p.Observe(recs[n].PktID, recs[n].TimeNS) // the cutting point
+		recs = recs[n+1:]
+	}
+}
+
+// extendOpen bulk-extends the open aggregate (and, when AggTrans is
+// enabled, the recent window) with a cut-free run of observations.
+// Eviction is amortized to once per run: the recent window is only
+// ever read through a time filter, so a stale head is invisible to
+// receipts — trimming exists purely to bound memory.
+func (p *Partitioner) extendOpen(recs []receipt.SampleRecord) {
+	p.observed += uint64(len(recs))
+	last := recs[len(recs)-1]
+	p.lastTime = last.TimeNS
+	if !p.hasOpen {
+		p.openFirst, p.hasOpen = recs[0].PktID, true
+	}
+	p.openLast = last.PktID
+	p.openCnt += uint64(len(recs))
+	if p.windowNS > 0 {
+		p.recent = append(p.recent, recs...)
+		p.evictRecent(last.TimeNS)
 	}
 }
 
@@ -214,12 +242,25 @@ func (p *Partitioner) evictRecent(now int64) {
 	}
 }
 
-// Take returns the receipts finalized since the previous Take.
+// Take returns the receipts finalized since the previous Take and
+// resets the accumulator. Ownership of the returned slice passes to
+// the caller; the partitioner continues on a buffer previously
+// returned through Recycle when one is available (the zero-alloc
+// steady state), or a fresh one otherwise.
 func (p *Partitioner) Take() []receipt.AggReceipt {
-	out := make([]receipt.AggReceipt, len(p.closed))
-	copy(out, p.closed)
-	p.closed = p.closed[:0]
+	out := p.closed
+	p.closed = p.spare
+	p.spare = nil
 	return out
+}
+
+// Recycle hands a no-longer-needed receipt buffer back to the
+// partitioner for reuse by a future Take. Only call with buffers whose
+// contents nothing retains.
+func (p *Partitioner) Recycle(buf []receipt.AggReceipt) {
+	if cap(buf) > cap(p.spare) {
+		p.spare = buf[:0]
+	}
 }
 
 // Flush finalizes all pending state — the still-open aggregate and any

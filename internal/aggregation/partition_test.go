@@ -2,6 +2,7 @@ package aggregation
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"vpm/internal/hashing"
@@ -260,5 +261,74 @@ func BenchmarkPartitionerObserve(b *testing.B) {
 		if i%1000000 == 0 {
 			p.Take()
 		}
+	}
+}
+
+// TestObserveBatchMatchesObserve proves the segment-scan batch path
+// produces byte-identical receipts to per-packet observation across
+// seeds, batch splits, and window configurations — including batches
+// that straddle cutting points and post-cut AggTrans windows.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	for _, cfg := range []Config{
+		{CutRate: 0.01, WindowNS: 50_000},
+		{CutRate: 0.05, WindowNS: 5_000},
+		{CutRate: 0.01, WindowNS: 0},
+	} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			stream := randomStream(seed, 20_000)
+			recs := make([]receipt.SampleRecord, len(stream))
+			for i, o := range stream {
+				recs[i] = receipt.SampleRecord{PktID: o.id, TimeNS: o.t}
+			}
+			want := runPartitioner(cfg, stream)
+
+			for _, batch := range []int{1, 7, 100, 4096, len(recs)} {
+				p := New(cfg, testPath())
+				for off := 0; off < len(recs); off += batch {
+					end := off + batch
+					if end > len(recs) {
+						end = len(recs)
+					}
+					p.ObserveBatch(recs[off:end])
+				}
+				got := p.Flush()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cfg %+v seed %d batch %d: batched receipts diverge from serial (%d vs %d receipts)",
+						cfg, seed, batch, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestTakeRecycleOwnership proves Take transfers ownership of the
+// closed-receipt buffer and Recycle reuses it without aliasing a
+// buffer the caller still holds.
+func TestTakeRecycleOwnership(t *testing.T) {
+	cfg := Config{CutRate: 0.05, WindowNS: 10_000}
+	p := New(cfg, testPath())
+	stream := randomStream(3, 8000)
+	for _, o := range stream[:4000] {
+		p.Observe(o.id, o.t)
+	}
+	first := p.Take()
+	snapshot := append([]receipt.AggReceipt(nil), first...)
+	for _, o := range stream[4000:] {
+		p.Observe(o.id, o.t)
+	}
+	if !reflect.DeepEqual(first, snapshot) {
+		t.Fatal("receipts from Take were clobbered by later observation")
+	}
+	second := p.Take()
+	p.Recycle(first)
+	for _, o := range stream {
+		p.Observe(o.id, o.t+stream[len(stream)-1].t+1)
+	}
+	third := p.Flush()
+	if len(second) > 0 && len(third) > 0 && &second[0] == &third[0] {
+		t.Fatal("buffer still owned by caller was handed out again")
+	}
+	if len(third) == 0 {
+		t.Fatal("no receipts after recycle")
 	}
 }

@@ -30,6 +30,23 @@ import (
 	"vpm/internal/packet"
 	"vpm/internal/receipt"
 	"vpm/internal/sampling"
+	"vpm/internal/streamagg"
+)
+
+// Backend selects how a collector aggregates sampled delay state.
+type Backend int
+
+const (
+	// BackendExact (the zero value) retains every sampled record
+	// exactly — the verification oracle and the historical default.
+	BackendExact Backend = iota
+	// BackendSketch thins retained records through a system-wide
+	// KeepFilter and maintains pooled streaming summary state
+	// (count + IBLT + interarrival histogram) per path, sealed via
+	// DrainSketches at epoch close. Receipts still carry the retained
+	// subsample, which every HOP computes identically, so the §4
+	// record-for-record consistency checks keep working.
+	BackendSketch
 )
 
 // CollectorConfig configures one HOP's collector.
@@ -55,6 +72,25 @@ type CollectorConfig struct {
 	// builds: 0 means auto (GOMAXPROCS), 1 a single-threaded
 	// Collector, N ≥ 2 a ShardedCollector with N shards.
 	Shards int
+	// Backend selects exact sample retention (the zero value) or the
+	// streaming sketch backend.
+	Backend Backend
+	// Sketch configures the streaming backend; only consulted when
+	// Backend == BackendSketch.
+	Sketch streamagg.Config
+	// EvictIdleEpochs, when positive, evicts a path's state after it
+	// has seen no observations for that many consecutive Drains: the
+	// path's open aggregate is force-flushed into the evicting Drain
+	// (its packets are reported exactly once, just on an idle-timeout
+	// cut instead of a hash-selected one) and the sampler's stale
+	// pre-marker buffer is discarded. This keeps the monitoring cache
+	// bounded by the *active* working set under path churn, at the cost
+	// of an extra aggregate boundary on idle-then-resumed paths. All
+	// HOPs of a deployment must use the same value — they see the same
+	// traffic, so they evict the same paths at the same rotations and
+	// receipts stay comparable. 0 (the default) never evicts — the
+	// historical behavior, and the byte-identity baseline.
+	EvictIdleEpochs int
 }
 
 // Validate checks the configuration.
@@ -68,8 +104,20 @@ func (c CollectorConfig) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
+	if c.EvictIdleEpochs < 0 {
+		return fmt.Errorf("core: negative idle-eviction threshold %d", c.EvictIdleEpochs)
+	}
 	if err := c.Sampling.Validate(); err != nil {
 		return err
+	}
+	if c.Backend == BackendSketch {
+		if err := c.Sketch.Validate(); err != nil {
+			return err
+		}
+		if c.Sketch.MarkerRate != c.Sampling.MarkerRate {
+			return fmt.Errorf("core: sketch marker rate %v differs from sampling marker rate %v",
+				c.Sketch.MarkerRate, c.Sampling.MarkerRate)
+		}
 	}
 	return c.Aggregation.Validate()
 }
@@ -98,6 +146,20 @@ type PathCollector interface {
 	// CloseEpoch finalizes all open state into the current epoch —
 	// the terminal rotation at end of stream (Flush semantics).
 	CloseEpoch() (EpochID, []receipt.SampleReceipt, []receipt.AggReceipt)
+	// DrainSketches seals and returns the per-path streaming sketches
+	// accumulated since the last call, in PathID-sorted order (empty
+	// under BackendExact). Return sealed sketches to SketchPool once
+	// consumed so epoch rotation stays allocation-free.
+	DrainSketches() []*streamagg.PathSketch
+	// SketchPool returns the pool sealed sketches should be returned
+	// to (nil under BackendExact).
+	SketchPool() *streamagg.Pool
+	// Recycle hands the buffers of a previous Drain/Flush result back
+	// to the collector for reuse. Only call with the exact slices that
+	// call returned, and only when nothing retains them or their
+	// records — retaining callers (the Processor, the windowed store)
+	// simply never call it.
+	Recycle(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt)
 	// Memory reports the §7.1 memory accounting.
 	Memory() MemoryStats
 	// Stats returns (packets observed, packets that matched no
@@ -117,11 +179,64 @@ func NewPathCollector(cfg CollectorConfig) (PathCollector, error) {
 
 // pathState is the collector's per-active-path state: one open
 // aggregate receipt and the sampler's temporary buffer (§7.1's
-// monitoring-cache entry).
+// monitoring-cache entry), plus — under BackendSketch — the lazily
+// created streaming summary.
 type pathState struct {
 	id      receipt.PathID
 	sampler *sampling.Sampler
 	part    *aggregation.Partitioner
+	sketch  *streamagg.PathSketch
+
+	// touched records whether the path saw any observation since the
+	// last Drain; idleDrains counts consecutive untouched Drains. They
+	// drive the opt-in idle eviction (CollectorConfig.EvictIdleEpochs).
+	touched    bool
+	idleDrains int32
+}
+
+// backend is the streaming-backend plumbing shared by the serial
+// collector and every shard of a sharded one: the keep filter and one
+// sketch pool (sync.Pool-backed, safe for concurrent shard use).
+type backend struct {
+	sketch bool
+	keep   streamagg.KeepFilter
+	pool   *streamagg.Pool
+}
+
+func newBackend(cfg *CollectorConfig) backend {
+	if cfg.Backend != BackendSketch {
+		return backend{}
+	}
+	return backend{
+		sketch: true,
+		keep:   streamagg.NewKeepFilter(cfg.Sketch.KeepRate, cfg.Sketch.Salt, cfg.Sketch.MarkerRate),
+		pool:   streamagg.NewPool(cfg.Sketch.SketchCells, cfg.Sketch.SketchSeed),
+	}
+}
+
+// newPathState builds one path's state, wiring the thinning filter and
+// the streaming sink when the sketch backend is on. The PathSketch
+// itself is created lazily on the first sampled record — only a small
+// fraction of paths see a sample in any interval, and pool-recycled
+// sketches carry ~16 KiB of histogram state each.
+func (b *backend) newPathState(cfg *CollectorConfig, key packet.PathKey) *pathState {
+	id := cfg.PathID(key)
+	st := &pathState{
+		id:      id,
+		sampler: sampling.New(cfg.Sampling),
+		part:    aggregation.New(cfg.Aggregation, id),
+	}
+	if b.sketch {
+		st.sampler.SetKeep(b.keep.Keep)
+		pool := b.pool
+		st.sampler.SetSink(func(pktID uint64, tNS int64) {
+			if st.sketch == nil {
+				st.sketch = pool.Get(st.id)
+			}
+			st.sketch.Observe(pktID, tNS)
+		})
+	}
+	return st
 }
 
 // Collector is the single-threaded data-plane module of one HOP. It
@@ -137,9 +252,14 @@ type pathState struct {
 // paths across N Collectors-worth of shard state the way a real router
 // shards by interface; the two are receipt-for-receipt equivalent.
 type Collector struct {
-	cfg   CollectorConfig
-	paths map[packet.PathKey]*pathState
-	epoch EpochID
+	cfg     CollectorConfig
+	backend backend
+	paths   map[packet.PathKey]*pathState
+	epoch   EpochID
+
+	// Recycled outer receipt slices for Drain/Flush (see Recycle).
+	spareSamples []receipt.SampleReceipt
+	spareAggs    []receipt.AggReceipt
 
 	observed     uint64
 	unclassified uint64
@@ -150,7 +270,9 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Collector{cfg: cfg, paths: make(map[packet.PathKey]*pathState)}, nil
+	c := &Collector{cfg: cfg, paths: make(map[packet.PathKey]*pathState)}
+	c.backend = newBackend(&c.cfg)
+	return c, nil
 }
 
 // Observe processes one packet observation: classify, aggregate,
@@ -165,14 +287,10 @@ func (c *Collector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
 	}
 	st, ok := c.paths[key]
 	if !ok {
-		id := c.cfg.PathID(key)
-		st = &pathState{
-			id:      id,
-			sampler: sampling.New(c.cfg.Sampling),
-			part:    aggregation.New(c.cfg.Aggregation, id),
-		}
+		st = c.backend.newPathState(&c.cfg, key)
 		c.paths[key] = st
 	}
+	st.touched = true
 	st.part.Observe(digest, tNS)
 	st.sampler.Observe(digest, tNS)
 }
@@ -197,16 +315,52 @@ func (c *Collector) HOP() receipt.HOPID { return c.cfg.HOP }
 // iteration order. The control-plane processor calls this
 // periodically.
 func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
-	var samples []receipt.SampleReceipt
-	var aggs []receipt.AggReceipt
-	for _, st := range c.paths {
-		if recs := st.sampler.Take(); len(recs) > 0 {
-			samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+	samples, aggs := c.takeSpares()
+	for key, st := range c.paths {
+		var evict bool
+		samples, aggs, evict = drainPath(st, c.cfg.EvictIdleEpochs, samples, aggs)
+		if evict {
+			delete(c.paths, key)
 		}
-		aggs = append(aggs, st.part.Take()...)
 	}
 	samples = mergeSamplesByPath(samples)
 	sortReceipts(samples, aggs)
+	return samples, aggs
+}
+
+// drainPath moves one path's finalized receipts into (samples, aggs)
+// and applies the idle-eviction policy: when the path has been
+// untouched for evictAfter consecutive Drains (and its sketch, if any,
+// has been sealed away), its open aggregate is force-flushed into this
+// drain and evict=true tells the caller to delete the state. With
+// evictAfter == 0 the policy is off and every path drains the
+// historical way.
+func drainPath(st *pathState, evictAfter int, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) (_ []receipt.SampleReceipt, _ []receipt.AggReceipt, evict bool) {
+	if recs := st.sampler.Take(); len(recs) > 0 {
+		samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+	}
+	if st.touched {
+		st.touched = false
+		st.idleDrains = 0
+	} else if evictAfter > 0 {
+		st.idleDrains++
+		if st.idleDrains >= int32(evictAfter) && st.sketch == nil {
+			flushed := st.part.Flush()
+			aggs = append(aggs, flushed...)
+			return samples, aggs, true
+		}
+	}
+	taken := st.part.Take()
+	aggs = append(aggs, taken...)
+	st.part.Recycle(taken)
+	return samples, aggs, false
+}
+
+// takeSpares hands out the recycled outer receipt slices (nil when the
+// caller never recycles — the allocating, always-safe default).
+func (c *Collector) takeSpares() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	samples, aggs := c.spareSamples, c.spareAggs
+	c.spareSamples, c.spareAggs = nil, nil
 	return samples, aggs
 }
 
@@ -214,10 +368,11 @@ func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 // and returns the remaining receipts, in the same deterministic order
 // as Drain.
 func (c *Collector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
-	var samples []receipt.SampleReceipt
-	var aggs []receipt.AggReceipt
+	samples, aggs := c.takeSpares()
 	for _, st := range c.paths {
-		aggs = append(aggs, st.part.Flush()...)
+		flushed := st.part.Flush()
+		aggs = append(aggs, flushed...)
+		st.part.Recycle(flushed)
 		if recs := st.sampler.Take(); len(recs) > 0 {
 			samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
 		}
@@ -225,6 +380,48 @@ func (c *Collector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 	samples = mergeSamplesByPath(samples)
 	sortReceipts(samples, aggs)
 	return samples, aggs
+}
+
+// Recycle hands the buffers of a previous Drain/Flush result back for
+// reuse: the outer slices return to the collector, each receipt's
+// record buffer to its path's sampler. Safe only when nothing retains
+// the result (see PathCollector.Recycle).
+func (c *Collector) Recycle(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	for i := range samples {
+		if st, ok := c.paths[samples[i].Path.Key]; ok {
+			st.sampler.Recycle(samples[i].Samples)
+		}
+	}
+	if cap(samples) > cap(c.spareSamples) {
+		c.spareSamples = samples[:0]
+	}
+	if cap(aggs) > cap(c.spareAggs) {
+		c.spareAggs = aggs[:0]
+	}
+}
+
+// DrainSketches seals and returns the streaming sketches of every path
+// that sampled at least one packet since the last call, PathID-sorted.
+// Ownership passes to the caller; return them via SketchPool().Put.
+func (c *Collector) DrainSketches() []*streamagg.PathSketch {
+	var out []*streamagg.PathSketch
+	for _, st := range c.paths {
+		if st.sketch != nil {
+			out = append(out, st.sketch)
+			st.sketch = nil
+		}
+	}
+	sortSketches(out)
+	return out
+}
+
+// SketchPool returns the pool sealed sketches recycle through (nil
+// under BackendExact).
+func (c *Collector) SketchPool() *streamagg.Pool { return c.backend.pool }
+
+// sortSketches puts sealed sketches into canonical PathID order.
+func sortSketches(s []*streamagg.PathSketch) {
+	sort.Slice(s, func(a, b int) bool { return s[a].Path.Compare(s[b].Path) < 0 })
 }
 
 // sortReceipts puts drained receipts into the canonical deterministic

@@ -10,6 +10,7 @@ import (
 	"vpm/internal/packet"
 	"vpm/internal/receipt"
 	"vpm/internal/sampling"
+	"vpm/internal/streamagg"
 )
 
 // Tuning is one domain's locally chosen resource knobs (§2.2
@@ -44,6 +45,14 @@ type DeployConfig struct {
 	// N shards. Sharded and serial deployments produce identical
 	// receipts for identical traffic.
 	Shards int
+	// Backend selects exact sample retention (the zero value) or the
+	// streaming sketch backend for every HOP collector.
+	Backend Backend
+	// Sketch configures the streaming backend when Backend ==
+	// BackendSketch. Its MarkerRate is filled in from
+	// DeployConfig.MarkerRate; KeepRate, Salt, SketchCells and
+	// SketchSeed are system-wide constants every HOP must share.
+	Sketch streamagg.Config
 }
 
 // Validate rejects deployment configurations that would otherwise
@@ -60,6 +69,13 @@ func (c DeployConfig) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("core: negative collector shard count %d (0 = GOMAXPROCS, 1 = serial)", c.Shards)
+	}
+	if c.Backend == BackendSketch {
+		sk := c.Sketch
+		sk.MarkerRate = c.MarkerRate
+		if err := sk.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := validateTuning("default", c.Default); err != nil {
 		return err
@@ -133,6 +149,10 @@ type Deployment struct {
 
 	markerThreshold  uint64
 	sampleThresholds map[receipt.HOPID]uint64
+	// sampleKeep is the system-wide retention thinning filter under
+	// BackendSketch (nil otherwise); verifiers need it to avoid
+	// flagging thinned records as missing.
+	sampleKeep func(pktID uint64) bool
 	// keyLayouts caches the per-key route layouts of a mesh deployment
 	// (nil for linear ones); built once in NewTopoDeployment.
 	keyLayouts map[packet.PathKey][]Layout
@@ -154,6 +174,11 @@ func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*D
 		Processors:       make(map[receipt.HOPID]*Processor),
 		markerThreshold:  hashing.ThresholdForRate(cfg.MarkerRate),
 		sampleThresholds: make(map[receipt.HOPID]uint64),
+	}
+	if cfg.Backend == BackendSketch {
+		cfg.Sketch.MarkerRate = cfg.MarkerRate
+		keep := streamagg.NewKeepFilter(cfg.Sketch.KeepRate, cfg.Sketch.Salt, cfg.Sketch.MarkerRate)
+		d.sampleKeep = keep.Keep
 	}
 	for di := range path.Domains {
 		dom := &path.Domains[di]
@@ -191,7 +216,9 @@ func NewDeployment(path *netsim.Path, table *packet.Table, cfg DeployConfig) (*D
 					CutRate:  tune.AggRate,
 					WindowNS: cfg.WindowNS,
 				},
-				Shards: cfg.Shards,
+				Shards:  cfg.Shards,
+				Backend: cfg.Backend,
+				Sketch:  cfg.Sketch,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: HOP %v: %w", h.id, err)
@@ -318,10 +345,7 @@ func (d *Deployment) newStore(only *packet.PathKey) *ReceiptStore {
 // all.
 func (d *Deployment) NewVerifierOn(store *ReceiptStore, key packet.PathKey) *Verifier {
 	v := NewVerifierOn(d.verifierLayout(key), store, key)
-	v.SetConfig(VerifierConfig{
-		MarkerThreshold:  d.markerThreshold,
-		SampleThresholds: d.sampleThresholds,
-	})
+	v.SetConfig(d.VerifierConfig())
 	return v
 }
 
@@ -346,6 +370,7 @@ func (d *Deployment) VerifierConfig() VerifierConfig {
 	return VerifierConfig{
 		MarkerThreshold:  d.markerThreshold,
 		SampleThresholds: d.sampleThresholds,
+		SampleKeep:       d.sampleKeep,
 	}
 }
 

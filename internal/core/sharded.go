@@ -5,12 +5,11 @@ import (
 	"runtime"
 	"sync"
 
-	"vpm/internal/aggregation"
 	"vpm/internal/hashing"
 	"vpm/internal/netsim"
 	"vpm/internal/packet"
 	"vpm/internal/receipt"
-	"vpm/internal/sampling"
+	"vpm/internal/streamagg"
 )
 
 // resolveShards maps the CollectorConfig.Shards knob to an actual
@@ -35,9 +34,13 @@ func pathKeyHash(key packet.PathKey) uint64 {
 // classifyCacheSize is the dispatcher's direct-mapped classification
 // cache: it short-circuits the two longest-prefix-match lookups for
 // recently seen (source, destination) address pairs. Flows repeat
-// addresses for many packets, so even a small cache hits almost
-// always. Must be a power of two.
-const classifyCacheSize = 512
+// addresses for many packets, but a direct-mapped cache lives and dies
+// by conflict misses: with a few hundred live pairs, 512 slots still
+// evict hot pairs into each other's slots often enough to put the LPM
+// walk back on the per-packet profile. 4096 slots (~256 KiB) keeps the
+// conflict rate negligible at working sets into the low thousands of
+// pairs. Must be a power of two.
+const classifyCacheSize = 4096
 
 // classifyEntry caches one address pair's classification outcome.
 type classifyEntry struct {
@@ -74,9 +77,10 @@ type shardRun struct {
 // map, samplers and partitioner state, touched only by the goroutine
 // currently processing this shard's sub-batch.
 type shard struct {
-	cfg   *CollectorConfig
-	paths map[packet.PathKey]*pathState
-	memo  [stateMemoSize]stateMemoEntry
+	cfg     *CollectorConfig
+	backend *backend
+	paths   map[packet.PathKey]*pathState
+	memo    [stateMemoSize]stateMemoEntry
 
 	// Reusable sub-batch buffers, filled by the dispatcher: the
 	// observations in shard-arrival order plus their run-length
@@ -93,12 +97,7 @@ func (s *shard) stateFor(key packet.PathKey, hash uint64) *pathState {
 	}
 	st, ok := s.paths[key]
 	if !ok {
-		id := s.cfg.PathID(key)
-		st = &pathState{
-			id:      id,
-			sampler: sampling.New(s.cfg.Sampling),
-			part:    aggregation.New(s.cfg.Aggregation, id),
-		}
+		st = s.backend.newPathState(s.cfg, key)
 		s.paths[key] = st
 	}
 	m.key, m.state = key, st
@@ -116,6 +115,7 @@ func (s *shard) process() {
 	for i := range s.runs {
 		r := &s.runs[i]
 		st := s.stateFor(r.key, r.hash)
+		st.touched = true
 		run := recs[off : off+r.n]
 		st.part.ObserveBatch(run)
 		st.sampler.ObserveBatch(run)
@@ -139,10 +139,20 @@ func (s *shard) process() {
 // their sub-batches concurrently and the call returns only when all
 // shards are done.
 type ShardedCollector struct {
-	cfg    CollectorConfig
-	shards []*shard
-	cache  [classifyCacheSize]classifyEntry
-	epoch  EpochID
+	cfg     CollectorConfig
+	backend backend
+	shards  []*shard
+	cache   [classifyCacheSize]classifyEntry
+	epoch   EpochID
+
+	// Dispatcher scratch, reused across ObserveBatch calls so the
+	// steady-state batch path allocates nothing.
+	busy []*shard
+	wg   sync.WaitGroup
+
+	// Recycled outer receipt slices for Drain/Flush (see Recycle).
+	spareSamples []receipt.SampleReceipt
+	spareAggs    []receipt.AggReceipt
 
 	observed     uint64
 	unclassified uint64
@@ -156,8 +166,9 @@ func NewShardedCollector(cfg CollectorConfig) (*ShardedCollector, error) {
 	}
 	n := resolveShards(cfg.Shards)
 	c := &ShardedCollector{cfg: cfg, shards: make([]*shard, n)}
+	c.backend = newBackend(&c.cfg)
 	for i := range c.shards {
-		c.shards[i] = &shard{cfg: &c.cfg, paths: make(map[packet.PathKey]*pathState)}
+		c.shards[i] = &shard{cfg: &c.cfg, backend: &c.backend, paths: make(map[packet.PathKey]*pathState)}
 	}
 	return c, nil
 }
@@ -197,6 +208,7 @@ func (c *ShardedCollector) Observe(pkt *packet.Packet, digest uint64, tNS int64)
 		return
 	}
 	st := c.shards[sh].stateFor(key, hash)
+	st.touched = true
 	st.part.Observe(digest, tNS)
 	st.sampler.Observe(digest, tNS)
 }
@@ -223,27 +235,32 @@ func (c *ShardedCollector) ObserveBatch(batch []netsim.Observation) {
 		}
 		s.runs = append(s.runs, shardRun{key: key, hash: hash, n: 1})
 	}
-	var busy []*shard
+	busy := c.busy[:0]
 	for _, s := range c.shards {
 		if len(s.recs) > 0 {
 			busy = append(busy, s)
 		}
 	}
+	c.busy = busy
 	if len(busy) == 0 {
 		return
 	}
 	// The dispatcher processes the last busy shard itself instead of
-	// parking in Wait — one fewer goroutine handoff per batch.
-	var wg sync.WaitGroup
+	// parking in Wait — one fewer goroutine handoff per batch. The
+	// workers run a plain method with explicit arguments (no closure)
+	// so spawning them allocates nothing in steady state.
 	for _, s := range busy[:len(busy)-1] {
-		wg.Add(1)
-		go func(s *shard) {
-			defer wg.Done()
-			s.process()
-		}(s)
+		c.wg.Add(1)
+		go c.runShard(s)
 	}
 	busy[len(busy)-1].process()
-	wg.Wait()
+	c.wg.Wait()
+}
+
+// runShard processes one shard's sub-batch on a worker goroutine.
+func (c *ShardedCollector) runShard(s *shard) {
+	s.process()
+	c.wg.Done()
 }
 
 // Drain returns the receipts finalized since the last Drain across
@@ -251,14 +268,23 @@ func (c *ShardedCollector) ObserveBatch(batch []netsim.Observation) {
 // sorted by PathID — identical runs drain identical receipt
 // sequences, and a sharded drain is byte-identical to a serial one.
 func (c *ShardedCollector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
-	var samples []receipt.SampleReceipt
-	var aggs []receipt.AggReceipt
+	samples, aggs := c.takeSpares()
 	for _, s := range c.shards {
-		for _, st := range s.paths {
-			if recs := st.sampler.Take(); len(recs) > 0 {
-				samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
+		evicted := false
+		for key, st := range s.paths {
+			var evict bool
+			samples, aggs, evict = drainPath(st, c.cfg.EvictIdleEpochs, samples, aggs)
+			if evict {
+				delete(s.paths, key)
+				evicted = true
 			}
-			aggs = append(aggs, st.part.Take()...)
+		}
+		if evicted {
+			// The state memo holds raw *pathState pointers; a stale hit
+			// on an evicted path would resurrect state the path map no
+			// longer drains. Eviction epochs are rare, so a wholesale
+			// clear beats per-entry bookkeeping.
+			s.memo = [stateMemoSize]stateMemoEntry{}
 		}
 	}
 	samples = mergeSamplesByPath(samples)
@@ -266,14 +292,23 @@ func (c *ShardedCollector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceip
 	return samples, aggs
 }
 
+// takeSpares hands out the recycled outer receipt slices (nil when the
+// caller never recycles — the allocating, always-safe default).
+func (c *ShardedCollector) takeSpares() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	samples, aggs := c.spareSamples, c.spareAggs
+	c.spareSamples, c.spareAggs = nil, nil
+	return samples, aggs
+}
+
 // Flush finalizes all shards' open state and returns the remaining
 // receipts, in the same deterministic order as Drain.
 func (c *ShardedCollector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
-	var samples []receipt.SampleReceipt
-	var aggs []receipt.AggReceipt
+	samples, aggs := c.takeSpares()
 	for _, s := range c.shards {
 		for _, st := range s.paths {
-			aggs = append(aggs, st.part.Flush()...)
+			flushed := st.part.Flush()
+			aggs = append(aggs, flushed...)
+			st.part.Recycle(flushed)
 			if recs := st.sampler.Take(); len(recs) > 0 {
 				samples = append(samples, receipt.SampleReceipt{Path: st.id, Samples: recs})
 			}
@@ -283,6 +318,48 @@ func (c *ShardedCollector) Flush() ([]receipt.SampleReceipt, []receipt.AggReceip
 	sortReceipts(samples, aggs)
 	return samples, aggs
 }
+
+// Recycle hands the buffers of a previous Drain/Flush result back for
+// reuse: the outer slices return to the dispatcher, each receipt's
+// record buffer to its owning shard's sampler. Safe only when nothing
+// retains the result (see PathCollector.Recycle).
+func (c *ShardedCollector) Recycle(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	for i := range samples {
+		key := samples[i].Path.Key
+		s := c.shards[pathKeyHash(key)%uint64(len(c.shards))]
+		if st, ok := s.paths[key]; ok {
+			st.sampler.Recycle(samples[i].Samples)
+		}
+	}
+	if cap(samples) > cap(c.spareSamples) {
+		c.spareSamples = samples[:0]
+	}
+	if cap(aggs) > cap(c.spareAggs) {
+		c.spareAggs = aggs[:0]
+	}
+}
+
+// DrainSketches seals and returns the streaming sketches of every path
+// that sampled at least one packet since the last call, PathID-sorted
+// across shards. Ownership passes to the caller; return them via
+// SketchPool().Put.
+func (c *ShardedCollector) DrainSketches() []*streamagg.PathSketch {
+	var out []*streamagg.PathSketch
+	for _, s := range c.shards {
+		for _, st := range s.paths {
+			if st.sketch != nil {
+				out = append(out, st.sketch)
+				st.sketch = nil
+			}
+		}
+	}
+	sortSketches(out)
+	return out
+}
+
+// SketchPool returns the pool sealed sketches recycle through (nil
+// under BackendExact).
+func (c *ShardedCollector) SketchPool() *streamagg.Pool { return c.backend.pool }
 
 // mergeSamplesByPath combines sample receipts that share a PathID via
 // receipt.CombineSamples, upholding Drain's one-receipt-per-path

@@ -108,6 +108,15 @@ type VerifierConfig struct {
 	// links.
 	MissingToleranceFraction float64
 	MissingToleranceFloor    int
+	// SampleKeep, when non-nil, is the system-wide retention thinning
+	// filter of the streaming sketch backend (streamagg.KeepFilter's
+	// Keep): a sampled packet's record appears in receipts only when
+	// SampleKeep(id) is true. The verifier composes it with the
+	// Algorithm 1 re-derivation so a thinned record is never expected
+	// — and never flagged missing — on a link, even when one side
+	// retains exactly (oracle deployments mixing the two backends).
+	// Markers are never thinned, so marker timelines are unaffected.
+	SampleKeep func(pktID uint64) bool
 	// Workers sizes the worker pool VerifyAllLinks and DomainReports
 	// spread independent link and domain checks over: 0 uses
 	// GOMAXPROCS, 1 runs serially. Verdicts are byte-identical at any
@@ -609,6 +618,11 @@ func (v *Verifier) expectedSampled(ri *pathIndex, other receipt.HOPID, id uint64
 	}
 	if hashing.Exceeds(id, mu) {
 		return true // markers are always sampled everywhere
+	}
+	if v.cfg.SampleKeep != nil && !v.cfg.SampleKeep(id) {
+		// Thinned by the system-wide retention filter: no HOP's
+		// receipts carry it, regardless of sampling thresholds.
+		return false
 	}
 	sigma, ok := v.cfg.SampleThresholds[other]
 	if !ok {

@@ -181,6 +181,7 @@ func FindEquivocation(reg Registry, origin receipt.HOPID, a, b []SignedBundle) [
 		}
 	}
 	var out []Equivocation
+	var encA, encB []byte // re-encode scratch, grow-only across the sweep
 	for _, sb := range b {
 		bd, err := Verify(pub, origin, sb)
 		if err != nil {
@@ -199,9 +200,12 @@ func FindEquivocation(reg Registry, origin receipt.HOPID, a, b []SignedBundle) [
 		// (Within one version the codec is canonical — byte-different
 		// payloads cannot decode equal — so this only forgives the
 		// cross-version case.)
-		if otherBd, err := Verify(pub, origin, other); err == nil &&
-			bytes.Equal(otherBd.Encode(), bd.Encode()) {
-			continue
+		if otherBd, err := Verify(pub, origin, other); err == nil {
+			encA = otherBd.AppendEncode(encA[:0])
+			encB = bd.AppendEncode(encB[:0])
+			if bytes.Equal(encA, encB) {
+				continue
+			}
 		}
 		out = append(out, Equivocation{Origin: origin, Seq: bd.Seq, Epoch: bd.Epoch, A: other, B: sb})
 	}

@@ -45,23 +45,46 @@ var bundleMagicV1 = [4]byte{'V', 'P', 'M', '1'}
 // ErrCorruptBundle reports a malformed bundle encoding.
 var ErrCorruptBundle = errors.New("dissem: corrupt bundle")
 
-// Encode produces the canonical binary form that signatures cover.
-func (b *Bundle) Encode() []byte {
-	out := append([]byte{}, bundleMagic[:]...)
+// WireSize returns the exact encoded size of the v2 form, letting
+// encoders allocate (or arena-reserve) once instead of growing
+// append-by-append through a whole epoch's receipts.
+func (b *Bundle) WireSize() int {
+	n := 4 + 28
+	for _, s := range b.Samples {
+		n += s.WireSize()
+	}
+	for _, a := range b.Aggs {
+		n += a.WireSize()
+	}
+	return n
+}
+
+// AppendEncode appends the canonical binary form to dst and returns
+// the extended slice. Sealing loops hand it a per-shard grow-only
+// buffer (or a receipt.Arena's) so steady-state encoding allocates
+// nothing; Encode wraps it for callers that need a fresh payload.
+func (b *Bundle) AppendEncode(dst []byte) []byte {
+	dst = append(dst, bundleMagic[:]...)
 	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.Origin))
 	binary.LittleEndian.PutUint64(hdr[4:12], b.Seq)
 	binary.LittleEndian.PutUint64(hdr[12:20], b.Epoch)
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(b.Samples)))
 	binary.LittleEndian.PutUint32(hdr[24:28], uint32(len(b.Aggs)))
-	out = append(out, hdr[:]...)
+	dst = append(dst, hdr[:]...)
 	for _, s := range b.Samples {
-		out = s.AppendBinary(out)
+		dst = s.AppendBinary(dst)
 	}
 	for _, a := range b.Aggs {
-		out = a.AppendBinary(out)
+		dst = a.AppendBinary(dst)
 	}
-	return out
+	return dst
+}
+
+// Encode produces the canonical binary form that signatures cover, in
+// one exactly-sized allocation.
+func (b *Bundle) Encode() []byte {
+	return b.AppendEncode(make([]byte, 0, b.WireSize()))
 }
 
 // EncodeV1 produces the legacy pre-epoch encoding — kept only so

@@ -1,6 +1,7 @@
 package dissem
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http/httptest"
@@ -491,5 +492,31 @@ func TestDropThroughKeepsCursorSemantics(t *testing.T) {
 	}
 	if got != 2 {
 		t.Fatalf("since=3 fetch after drop returned %d bundles, want 2", got)
+	}
+}
+
+// TestBundleAppendEncode: AppendEncode into a reused scratch buffer is
+// byte-identical to Encode, WireSize predicts the exact length, and
+// once the scratch reached its high-water mark re-encoding allocates
+// nothing.
+func TestBundleAppendEncode(t *testing.T) {
+	b := sampleBundle(4, 7)
+	b.Epoch = 3
+	want := b.Encode()
+	if len(want) != b.WireSize() {
+		t.Fatalf("WireSize %d, encoded length %d", b.WireSize(), len(want))
+	}
+	scratch := make([]byte, 0, b.WireSize())
+	got := b.AppendEncode(scratch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("AppendEncode differs from Encode")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if out := b.AppendEncode(scratch[:0]); len(out) != len(want) {
+			t.Fatal("short encode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AppendEncode allocated %.1f times per bundle", allocs)
 	}
 }

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vpm/internal/core"
+	"vpm/internal/packet"
+	"vpm/internal/quantile"
+	"vpm/internal/receipt"
+	"vpm/internal/sketch"
+	"vpm/internal/streamagg"
+)
+
+// Sketch-oracle constants: the system-wide streaming-backend knobs a
+// real deployment would fix once (like µ and J). The keep rate thins
+// retained delay samples 4×; the IBLT is sized far above the sampled
+// set difference a lossy domain produces at these trace lengths.
+const (
+	SketchOracleKeepRate = 0.25
+	sketchOracleSalt     = 0x5eed_cafe
+	sketchOracleCells    = 2048
+	sketchOracleSeed     = 7
+	sketchOracleLossX    = 0.02
+)
+
+// SketchOracleQuantiles are the delay quantiles whose streaming
+// estimates are checked against the exact path's confidence bounds.
+var SketchOracleQuantiles = []float64{0.5, 0.9, 0.99}
+
+// SketchOracleRow is one seed's worth of oracle comparisons between a
+// BackendSketch deployment and a byte-identical-traffic exact
+// deployment.
+type SketchOracleRow struct {
+	Seed uint64
+	// ExactSamples and ThinnedSamples are the matched delay-sample
+	// populations across domain X under each backend; thinning must
+	// shrink the population (KeepRate < 1) without breaking any check
+	// below.
+	ExactSamples   int
+	ThinnedSamples int
+	// QuantileChecks/QuantileMisses: for each quantile, the thinned
+	// order-statistic confidence interval must overlap the exact one.
+	// Both intervals cover the true quantile with the configured
+	// confidence, so by the union bound they are disjoint with
+	// probability ≤ 2(1-confidence); misses above that budget mean the
+	// thinned estimator is biased.
+	QuantileChecks int
+	QuantileMisses int
+	// HistChecks/HistMisses: the per-path FastHist interarrival
+	// quantile bucket must contain the exact k-th interarrival gap of
+	// the same stream — a deterministic property of the log-bucketed
+	// histogram, so any miss is a bug.
+	HistChecks int
+	HistMisses int
+	// LinkViolations counts verifier inconsistencies reported by the
+	// sketch-backend deployment. Thinning is system-wide and
+	// deterministic, so an honest path must report zero (no false
+	// alarms).
+	LinkViolations int
+	// IBLTDecoded/IBLTDiffMatch: subtracting X's egress IBLT from its
+	// ingress IBLT must peel completely and decode exactly the exact
+	// backends' sampled-set difference (the delay-sampled packets lost
+	// or marker-desynced inside X).
+	IBLTDecoded   bool
+	IBLTDiffMatch bool
+	// Loss totals must be identical under both backends: thinning
+	// touches only retained delay samples, never aggregates.
+	LossExact  int64
+	LossSketch int64
+}
+
+// SketchOracle runs the streaming-backend verification oracle: for
+// each seed it simulates the same lossy Figure 1 traffic twice — once
+// with exact sample retention, once with the sketch backend — and
+// cross-checks verdicts, quantile bounds, interarrival histograms,
+// IBLT set reconciliation and loss totals. One row per seed.
+func SketchOracle(cfg Config) ([]SketchOracleRow, error) {
+	cfg = cfg.Normalize()
+	const reps = 4
+	rows := make([]SketchOracleRow, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		bump := uint64(rep) * 99991
+		exactOpt := worldOpt{lossX: sketchOracleLossX, seedBump: bump}
+		dc := core.DefaultDeployConfig()
+		dc.Backend = core.BackendSketch
+		dc.Sketch = streamagg.Config{
+			KeepRate:    SketchOracleKeepRate,
+			Salt:        sketchOracleSalt,
+			SketchCells: sketchOracleCells,
+			SketchSeed:  sketchOracleSeed,
+		}
+		we, err := buildWorld(cfg, exactOpt)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := buildWorld(cfg, worldOpt{lossX: sketchOracleLossX, seedBump: bump, deploy: &dc})
+		if err != nil {
+			return nil, err
+		}
+		row := SketchOracleRow{Seed: cfg.Seed + bump}
+
+		// 1. No false alarms: the honest sketch-backend path verifies
+		// clean end to end.
+		vs := ws.dep.NewVerifier(ws.key)
+		for _, lv := range vs.VerifyAllLinks() {
+			row.LinkViolations += len(lv.Violations)
+		}
+
+		// 2. Thinned delay quantiles vs exact confidence bounds.
+		ve := we.dep.NewVerifier(we.key)
+		de := ve.DelaysBetween(4, 5)
+		ds := vs.DelaysBetween(4, 5)
+		row.ExactSamples, row.ThinnedSamples = len(de), len(ds)
+		if len(de) > 0 && len(ds) > 0 {
+			ee, err := quantile.Quantiles(de, SketchOracleQuantiles, cfg.Confidence)
+			if err != nil {
+				return nil, err
+			}
+			es, err := quantile.Quantiles(ds, SketchOracleQuantiles, cfg.Confidence)
+			if err != nil {
+				return nil, err
+			}
+			for i := range ee {
+				row.QuantileChecks++
+				if es[i].Lo > ee[i].Hi || es[i].Hi < ee[i].Lo {
+					row.QuantileMisses++
+				}
+			}
+		}
+
+		// 3–4. Per-path streaming state at X's boundary HOPs against
+		// the exact backends' retained records.
+		exactIn := hopRecords(we.dep, 4, we.key)
+		exactEg := hopRecords(we.dep, 5, we.key)
+		skIn := hopSketches(ws.dep, 4, ws.key)
+		skEg := hopSketches(ws.dep, 5, ws.key)
+		checks, misses := histChecks(skIn, exactIn, SketchOracleQuantiles)
+		row.HistChecks += checks
+		row.HistMisses += misses
+		checks, misses = histChecks(skEg, exactEg, SketchOracleQuantiles)
+		row.HistChecks += checks
+		row.HistMisses += misses
+		row.IBLTDecoded, row.IBLTDiffMatch = ibltOracle(skIn, skEg, exactIn, exactEg)
+		returnSketches(ws.dep, 4, skIn)
+		returnSketches(ws.dep, 5, skEg)
+
+		// 5. Aggregate-derived loss is backend-independent.
+		le, err := ve.LossBetween(4, 5)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := vs.LossBetween(4, 5)
+		if err != nil {
+			return nil, err
+		}
+		row.LossExact, row.LossSketch = le.Lost, ls.Lost
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// hopRecords collects one HOP's retained sample records for a traffic
+// key, in receipt (arrival) order.
+func hopRecords(d *core.Deployment, hop receipt.HOPID, key packet.PathKey) []receipt.SampleRecord {
+	var out []receipt.SampleRecord
+	for _, r := range d.Processors[hop].CombinedSamples() {
+		if r.Path.Key == key {
+			out = append(out, r.Samples...)
+		}
+	}
+	return out
+}
+
+// hopSketches drains one HOP collector's sealed sketches for a key.
+func hopSketches(d *core.Deployment, hop receipt.HOPID, key packet.PathKey) []*streamagg.PathSketch {
+	var out []*streamagg.PathSketch
+	for _, ps := range d.Collectors[hop].DrainSketches() {
+		if ps.Path.Key == key {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// returnSketches hands sealed sketches back to the HOP's pool.
+func returnSketches(d *core.Deployment, hop receipt.HOPID, sks []*streamagg.PathSketch) {
+	pool := d.Collectors[hop].SketchPool()
+	if pool == nil {
+		return
+	}
+	for _, ps := range sks {
+		pool.Put(ps)
+	}
+}
+
+// histChecks replays the exact record stream's interarrival gaps and
+// checks, for each quantile, that the streaming histogram's bucket
+// bounds contain the exact k-th gap. The streams are identical by
+// construction, so the log-bucketed histogram must never miss.
+func histChecks(sks []*streamagg.PathSketch, recs []receipt.SampleRecord, qs []float64) (checks, misses int) {
+	if len(sks) != 1 || len(recs) < 2 {
+		return 0, 0
+	}
+	hist := &sks[0].Interarrival
+	gaps := make([]float64, 0, len(recs)-1)
+	for i := 1; i < len(recs); i++ {
+		g := recs[i].TimeNS - recs[i-1].TimeNS
+		if g < 0 {
+			g = 0 // FastHist clamps negative gaps the same way
+		}
+		gaps = append(gaps, float64(g))
+	}
+	sort.Float64s(gaps)
+	for _, q := range qs {
+		_, lo, hi, err := hist.Quantile(q)
+		if err != nil {
+			continue
+		}
+		k := int(float64(len(gaps))*q + 0.9999999)
+		if k < 1 {
+			k = 1
+		}
+		if k > len(gaps) {
+			k = len(gaps)
+		}
+		exact := gaps[k-1]
+		checks++
+		if exact < float64(lo) || exact > float64(hi) {
+			misses++
+		}
+	}
+	return checks, misses
+}
+
+// ibltOracle subtracts egress from ingress and demands the decoded
+// difference equal the exact backends' sampled-set difference.
+func ibltOracle(skIn, skEg []*streamagg.PathSketch, exactIn, exactEg []receipt.SampleRecord) (decoded, match bool) {
+	if len(skIn) != 1 || len(skEg) != 1 || skIn[0].IBLT() == nil || skEg[0].IBLT() == nil {
+		return false, false
+	}
+	verdict, err := sketch.Compare(skIn[0].IBLT(), skEg[0].IBLT())
+	if err != nil || !verdict.Decoded {
+		return false, false
+	}
+	inSet := make(map[uint64]bool, len(exactIn))
+	for _, r := range exactIn {
+		inSet[r.PktID] = true
+	}
+	egSet := make(map[uint64]bool, len(exactEg))
+	for _, r := range exactEg {
+		egSet[r.PktID] = true
+	}
+	var wantLost, wantInjected []uint64
+	for id := range inSet {
+		if !egSet[id] {
+			wantLost = append(wantLost, id)
+		}
+	}
+	for id := range egSet {
+		if !inSet[id] {
+			wantInjected = append(wantInjected, id)
+		}
+	}
+	return true, sameIDSet(verdict.Lost, wantLost) && sameIDSet(verdict.Injected, wantInjected)
+}
+
+// sameIDSet compares two id lists as sets.
+func sameIDSet(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint64(nil), a...)
+	bs := append([]uint64(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SketchOracleRender renders the oracle rows.
+func SketchOracleRender(rows []SketchOracleRow, markdown bool) string {
+	header := []string{"Seed", "Exact n", "Thinned n", "CI overlap", "Hist", "Verdicts", "IBLT", "Loss"}
+	var body [][]string
+	for _, r := range rows {
+		iblt := "ok"
+		if !r.IBLTDecoded {
+			iblt = "undecoded"
+		} else if !r.IBLTDiffMatch {
+			iblt = "mismatch"
+		}
+		loss := "equal"
+		if r.LossExact != r.LossSketch {
+			loss = fmt.Sprintf("%d != %d", r.LossSketch, r.LossExact)
+		}
+		body = append(body, []string{
+			fmt.Sprintf("%d", r.Seed),
+			fmt.Sprintf("%d", r.ExactSamples),
+			fmt.Sprintf("%d", r.ThinnedSamples),
+			fmt.Sprintf("%d/%d", r.QuantileChecks-r.QuantileMisses, r.QuantileChecks),
+			fmt.Sprintf("%d/%d", r.HistChecks-r.HistMisses, r.HistChecks),
+			fmt.Sprintf("%d violations", r.LinkViolations),
+			iblt,
+			loss,
+		})
+	}
+	if markdown {
+		return Markdown(header, body)
+	}
+	return Table(header, body)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestSketchOracle is the streaming-backend property test: across
+// seeds, the sketch deployment's verdicts stay clean, its thinned
+// quantile intervals overlap the exact path's order-statistic bounds
+// (within the union-bound miss budget), its interarrival histograms
+// bracket the exact gaps deterministically, its IBLT reconciles the
+// exact sampled-set difference, and loss totals are byte-identical.
+func TestSketchOracle(t *testing.T) {
+	cfg := Config{DurationNS: 400_000_000} // 40k packets per world
+	rows, err := SketchOracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no oracle rows")
+	}
+	var checks, misses int
+	for _, r := range rows {
+		if r.LinkViolations != 0 {
+			t.Errorf("seed %d: sketch backend raised %d false alarms", r.Seed, r.LinkViolations)
+		}
+		if r.ExactSamples == 0 || r.ThinnedSamples == 0 {
+			t.Fatalf("seed %d: empty delay populations (exact %d, thinned %d)", r.Seed, r.ExactSamples, r.ThinnedSamples)
+		}
+		if r.ThinnedSamples >= r.ExactSamples {
+			t.Errorf("seed %d: thinning kept %d of %d samples — KeepRate not exercised", r.Seed, r.ThinnedSamples, r.ExactSamples)
+		}
+		if r.HistChecks == 0 {
+			t.Errorf("seed %d: no interarrival histogram checks ran", r.Seed)
+		}
+		if r.HistMisses != 0 {
+			t.Errorf("seed %d: %d/%d interarrival quantiles outside FastHist bucket bounds", r.Seed, r.HistMisses, r.HistChecks)
+		}
+		if !r.IBLTDecoded {
+			t.Errorf("seed %d: IBLT difference failed to peel", r.Seed)
+		} else if !r.IBLTDiffMatch {
+			t.Errorf("seed %d: IBLT decode differs from exact sampled-set difference", r.Seed)
+		}
+		if r.LossExact != r.LossSketch {
+			t.Errorf("seed %d: loss totals differ (exact %d, sketch %d)", r.Seed, r.LossExact, r.LossSketch)
+		}
+		checks += r.QuantileChecks
+		misses += r.QuantileMisses
+	}
+	if checks == 0 {
+		t.Fatal("no quantile interval checks ran")
+	}
+	// Disjoint intervals happen with probability ≤ 2(1-confidence) =
+	// 10% per check; allow double that before declaring bias.
+	if budget := (checks + 4) / 5; misses > budget {
+		t.Errorf("thinned quantile intervals disjoint from exact bounds %d/%d times (budget %d)", misses, checks, budget)
+	}
+}

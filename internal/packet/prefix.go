@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
+
+	"vpm/internal/intern"
 )
 
 // Prefix is an IPv4 routing prefix (an "origin prefix" in BGP terms).
@@ -41,9 +44,24 @@ func (p Prefix) Contains(a [4]byte) bool {
 	return binary.BigEndian.Uint32(a[:])&p.mask() == p.uint32()
 }
 
-// String renders the prefix in CIDR notation.
+// AppendText appends the prefix in CIDR notation to dst.
+func (p Prefix) AppendText(dst []byte) []byte {
+	for i, o := range p.Addr {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = strconv.AppendUint(dst, uint64(o), 10)
+	}
+	dst = append(dst, '/')
+	return strconv.AppendInt(dst, int64(p.Bits), 10)
+}
+
+// String renders the prefix in CIDR notation. Prefixes name traffic
+// keys all over receipts and verdicts, so the rendering is interned:
+// each distinct prefix allocates its string once per process.
 func (p Prefix) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr[0], p.Addr[1], p.Addr[2], p.Addr[3], p.Bits)
+	var buf [20]byte
+	return intern.Bytes(p.AppendText(buf[:0]))
 }
 
 // Compare totally orders prefixes by address, then length: -1, 0 or +1
@@ -71,8 +89,19 @@ type PathKey struct {
 	Src, Dst Prefix
 }
 
-// String renders "src->dst" in CIDR notation.
-func (k PathKey) String() string { return k.Src.String() + "->" + k.Dst.String() }
+// AppendText appends "src->dst" in CIDR notation to dst.
+func (k PathKey) AppendText(dst []byte) []byte {
+	dst = k.Src.AppendText(dst)
+	dst = append(dst, '-', '>')
+	return k.Dst.AppendText(dst)
+}
+
+// String renders "src->dst" in CIDR notation, interned like
+// Prefix.String.
+func (k PathKey) String() string {
+	var buf [42]byte
+	return intern.Bytes(k.AppendText(buf[:0]))
+}
 
 // Compare totally orders path keys (source prefix, then destination).
 func (k PathKey) Compare(o PathKey) int {

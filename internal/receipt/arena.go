@@ -1,0 +1,72 @@
+package receipt
+
+// Arena is a grow-only encode buffer for receipt streams. Sealing an
+// epoch encodes every receipt a shard produced; doing that with fresh
+// allocations churns the heap at exactly the moment the hot path wants
+// it quiet. An Arena amortizes instead: encodes append into one
+// backing buffer that only ever grows, so once a shard's buffer
+// reaches its steady-state high-water mark, sealing allocates nothing.
+//
+// The byte slices returned by Encode alias the arena's buffer and are
+// valid until the next Reset. An Arena is not safe for concurrent use;
+// keep one per shard (or per sealing goroutine).
+type Arena struct {
+	buf []byte
+}
+
+// Reset forgets the arena's contents, keeping its capacity. Slices
+// returned by earlier Encode calls become invalid.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Len returns the number of encoded bytes currently in the arena.
+func (a *Arena) Len() int { return len(a.buf) }
+
+// Cap returns the arena's high-water capacity.
+func (a *Arena) Cap() int { return cap(a.buf) }
+
+// EncodeSample encodes one sample receipt, returning its bytes.
+func (a *Arena) EncodeSample(r SampleReceipt) []byte {
+	start := len(a.buf)
+	a.buf = r.AppendBinary(a.buf)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// EncodeAgg encodes one aggregate receipt, returning its bytes.
+func (a *Arena) EncodeAgg(r AggReceipt) []byte {
+	start := len(a.buf)
+	a.buf = r.AppendBinary(a.buf)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// Encode encodes a whole drained receipt stream — samples first, then
+// aggregates, the canonical stream order — returning the concatenated
+// bytes. Equivalent to chaining AppendBinary over a fresh slice, minus
+// the allocations.
+func (a *Arena) Encode(samples []SampleReceipt, aggs []AggReceipt) []byte {
+	need := 0
+	for _, r := range samples {
+		need += r.WireSize()
+	}
+	for _, r := range aggs {
+		need += r.WireSize()
+	}
+	a.Grow(need)
+	start := len(a.buf)
+	for _, r := range samples {
+		a.buf = r.AppendBinary(a.buf)
+	}
+	for _, r := range aggs {
+		a.buf = r.AppendBinary(a.buf)
+	}
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// Grow ensures the arena can hold n more bytes without reallocating.
+func (a *Arena) Grow(n int) {
+	if cap(a.buf)-len(a.buf) >= n {
+		return
+	}
+	grown := make([]byte, len(a.buf), len(a.buf)+n)
+	copy(grown, a.buf)
+	a.buf = grown
+}

@@ -1,0 +1,91 @@
+package receipt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func arenaFixture() ([]SampleReceipt, []AggReceipt) {
+	p := PathID{PrevHOP: 3, NextHOP: 5, MaxDiffNS: 1_000_000}
+	samples := []SampleReceipt{
+		{Path: p, Samples: []SampleRecord{{PktID: 1, TimeNS: 10}, {PktID: 2, TimeNS: 20}}},
+		{Path: p, Samples: []SampleRecord{{PktID: 3, TimeNS: 30}}},
+	}
+	aggs := []AggReceipt{
+		{Path: p, Agg: AggID{First: 1, Last: 9}, PktCnt: 42, AggTrans: []SampleRecord{{PktID: 7, TimeNS: 70}}},
+	}
+	return samples, aggs
+}
+
+// TestArenaMatchesAppendBinary: arena encoding is byte-identical to
+// the plain AppendBinary chain.
+func TestArenaMatchesAppendBinary(t *testing.T) {
+	samples, aggs := arenaFixture()
+	var want []byte
+	for _, r := range samples {
+		want = r.AppendBinary(want)
+	}
+	for _, r := range aggs {
+		want = r.AppendBinary(want)
+	}
+	var a Arena
+	got := a.Encode(samples, aggs)
+	if !bytes.Equal(got, want) {
+		t.Fatal("arena encoding differs from AppendBinary chain")
+	}
+	if a.Len() != len(want) {
+		t.Fatalf("arena holds %d bytes, want %d", a.Len(), len(want))
+	}
+
+	// Per-receipt encodes after Reset reproduce the same stream.
+	a.Reset()
+	var rebuilt []byte
+	for _, r := range samples {
+		rebuilt = append(rebuilt, a.EncodeSample(r)...)
+	}
+	for _, r := range aggs {
+		rebuilt = append(rebuilt, a.EncodeAgg(r)...)
+	}
+	if !bytes.Equal(rebuilt, want) {
+		t.Fatal("per-receipt arena encoding differs")
+	}
+}
+
+// TestArenaGrowOnly: after the first epoch's encode sized the buffer,
+// re-encoding the same-shaped stream allocates nothing.
+func TestArenaGrowOnly(t *testing.T) {
+	samples, aggs := arenaFixture()
+	var a Arena
+	a.Encode(samples, aggs)
+	highWater := a.Cap()
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		if out := a.Encode(samples, aggs); len(out) == 0 {
+			t.Fatal("empty encode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena encode allocated %.1f times per epoch", allocs)
+	}
+	if a.Cap() != highWater {
+		t.Fatalf("capacity moved from %d to %d on identical streams", highWater, a.Cap())
+	}
+}
+
+// TestArenaViewsStableUntilReset: slices from successive encodes in
+// one epoch stay valid and disjoint.
+func TestArenaViewsStableUntilReset(t *testing.T) {
+	samples, aggs := arenaFixture()
+	var a Arena
+	a.Grow(samples[0].WireSize() + samples[1].WireSize())
+	first := a.EncodeSample(samples[0])
+	firstCopy := append([]byte(nil), first...)
+	second := a.EncodeSample(samples[1])
+	if !bytes.Equal(first, firstCopy) {
+		t.Fatal("earlier view corrupted by later encode in same epoch")
+	}
+	if &first[0] == &second[0] {
+		t.Fatal("views overlap")
+	}
+	_ = aggs
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vpm/internal/intern"
 	"vpm/internal/packet"
 )
 
@@ -42,8 +43,21 @@ func (k StoreKey) Compare(o StoreKey) int {
 	return k.Key.Compare(o.Key)
 }
 
-// String renders the store key.
-func (k StoreKey) String() string { return k.HOP.String() + " " + k.Key.String() }
+// AppendText appends the store key's textual form to dst.
+func (k StoreKey) AppendText(dst []byte) []byte {
+	dst = k.HOP.AppendText(dst)
+	dst = append(dst, ' ')
+	return k.Key.AppendText(dst)
+}
+
+// String renders the store key. Store keys name receipt streams in
+// logs, query parameters and archive filenames, and the same few keys
+// recur for the lifetime of a deployment — the rendering is interned,
+// so each distinct key allocates its string once per process.
+func (k StoreKey) String() string {
+	var buf [57]byte
+	return intern.Bytes(k.AppendText(buf[:0]))
+}
 
 // ErrBadStoreKey reports an unparseable store-key string.
 var ErrBadStoreKey = errors.New("receipt: bad store key")

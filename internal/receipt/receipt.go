@@ -13,7 +13,9 @@ package receipt
 
 import (
 	"fmt"
+	"strconv"
 
+	"vpm/internal/intern"
 	"vpm/internal/packet"
 )
 
@@ -21,8 +23,19 @@ import (
 // its running example (Figure 1).
 type HOPID uint32
 
-// String renders the HOP id.
-func (h HOPID) String() string { return fmt.Sprintf("HOP%d", uint32(h)) }
+// AppendText appends "HOP<n>" to dst.
+func (h HOPID) AppendText(dst []byte) []byte {
+	dst = append(dst, 'H', 'O', 'P')
+	return strconv.AppendUint(dst, uint64(h), 10)
+}
+
+// String renders the HOP id. A deployment has a handful of HOPs whose
+// names recur in every verdict and store key, so the rendering is
+// interned: one allocation per distinct HOP per process.
+func (h HOPID) String() string {
+	var buf [14]byte
+	return intern.Bytes(h.AppendText(buf[:0]))
+}
 
 // PathID names the HOP path a receipt belongs to, as seen from the
 // reporting HOP: the header specification (source and destination

@@ -58,13 +58,27 @@ type Sampler struct {
 	mu    uint64 // marker threshold µ
 	sigma uint64 // sampling threshold σ
 
+	// keep, when non-nil, thins the *retained* sample records: a
+	// sampled packet is appended to the receipt under construction
+	// only when keep(pktID) is true. The sampling decision itself —
+	// and sink, the streaming-summary hook — always sees the full
+	// sampled set; only exact per-packet retention is thinned (the
+	// streaming aggregation backend's second-stage threshold
+	// subsample). Nil keeps everything (the exact path).
+	keep func(pktID uint64) bool
+	// sink, when non-nil, observes every sampled record (markers
+	// included) before thinning — the streaming sketch state's feed.
+	sink func(pktID uint64, tNS int64)
+
 	temp    []receipt.SampleRecord // TempBuffer: all packets since last marker
 	samples []receipt.SampleRecord // samples accumulated since last Take
+	spare   []receipt.SampleRecord // recycled accumulator for the next Take
 
 	// Accounting.
 	observed      uint64
 	markers       uint64
 	sampled       uint64
+	retained      uint64
 	tempHighWater int
 }
 
@@ -80,59 +94,109 @@ func New(cfg Config) *Sampler {
 	}
 }
 
+// SetKeep installs the retention thinning filter (nil = keep every
+// sampled record, the exact path). The filter must retain markers —
+// the verifier's marker timeline re-derivation depends on them — which
+// any digest-threshold filter composed with µ does by construction.
+func (s *Sampler) SetKeep(keep func(pktID uint64) bool) { s.keep = keep }
+
+// SetSink installs the streaming-summary hook: it observes every
+// sampled record (pre-thinning, markers included) as Algorithm 1
+// accepts it.
+func (s *Sampler) SetSink(sink func(pktID uint64, tNS int64)) { s.sink = sink }
+
 // Observe processes one packet observation (Algorithm 1): pktID is the
 // packet's digest, tNS the HOP's observation timestamp.
 func (s *Sampler) Observe(pktID uint64, tNS int64) {
 	s.observed++
 	if hashing.Exceeds(pktID, s.mu) {
-		// Marker: its digest keys the sampling decision for every
-		// buffered packet, then the buffer is emptied and the marker
-		// itself is sampled.
-		s.markers++
-		for _, q := range s.temp {
-			if hashing.Exceeds(hashing.SampleFcn(q.PktID, pktID), s.sigma) {
-				s.samples = append(s.samples, q)
-				s.sampled++
-			}
-		}
-		s.temp = s.temp[:0]
-		s.samples = append(s.samples, receipt.SampleRecord{PktID: pktID, TimeNS: tNS})
-		s.sampled++
+		s.marker(pktID, tNS)
 		return
 	}
 	s.temp = append(s.temp, receipt.SampleRecord{PktID: pktID, TimeNS: tNS})
+}
+
+// marker processes a marker packet: its digest keys the sampling
+// decision for every buffered packet, then the buffer is emptied and
+// the marker itself is sampled. The temp buffer only grows between
+// markers, so recording its high-water mark here (just before the
+// clear) equals checking after every append.
+func (s *Sampler) marker(pktID uint64, tNS int64) {
 	if len(s.temp) > s.tempHighWater {
 		s.tempHighWater = len(s.temp)
+	}
+	s.markers++
+	sigma := s.sigma
+	for _, q := range s.temp {
+		if hashing.Exceeds(hashing.SampleFcn(q.PktID, pktID), sigma) {
+			s.sampled++
+			s.accept(q)
+		}
+	}
+	s.temp = s.temp[:0]
+	s.sampled++
+	s.accept(receipt.SampleRecord{PktID: pktID, TimeNS: tNS})
+}
+
+// accept routes one sampled record through the streaming sink and the
+// retention filter.
+func (s *Sampler) accept(q receipt.SampleRecord) {
+	if s.sink != nil {
+		s.sink(q.PktID, q.TimeNS)
+	}
+	if s.keep == nil || s.keep(q.PktID) {
+		s.retained++
+		s.samples = append(s.samples, q)
 	}
 }
 
 // ObserveBatch processes a slice of observations (PktID = digest,
 // TimeNS = observation time) in order — the batch hook the sharded
 // collector's per-path runs feed. Semantically identical to calling
-// Observe per record; the common non-marker case (append to the
-// temporary buffer) is inlined so only markers pay the full call.
+// Observe per record. Markers are rare (µ is a per-mille rate), so the
+// batch is consumed as marker-delimited segments: one threshold
+// comparison per packet to find the next marker, then a single bulk
+// append moves the whole segment into the temporary buffer — the
+// steady-state cost is a compare and a memmove, not a call.
 func (s *Sampler) ObserveBatch(recs []receipt.SampleRecord) {
 	mu := s.mu
-	for i := range recs {
-		if hashing.Exceeds(recs[i].PktID, mu) {
-			s.Observe(recs[i].PktID, recs[i].TimeNS)
-			continue
+	for len(recs) > 0 {
+		n := 0
+		for n < len(recs) && !hashing.Exceeds(recs[n].PktID, mu) {
+			n++
+		}
+		if n > 0 {
+			s.temp = append(s.temp, recs[:n]...)
+			s.observed += uint64(n)
+		}
+		if n == len(recs) {
+			return
 		}
 		s.observed++
-		s.temp = append(s.temp, recs[i])
-		if len(s.temp) > s.tempHighWater {
-			s.tempHighWater = len(s.temp)
-		}
+		s.marker(recs[n].PktID, recs[n].TimeNS)
+		recs = recs[n+1:]
 	}
 }
 
 // Take returns the samples accumulated since the previous Take and
-// resets the accumulator — the processor module's periodic read.
+// resets the accumulator. Ownership of the returned slice passes to
+// the caller; the sampler continues on a buffer previously returned
+// through Recycle when one is available (the zero-alloc steady state),
+// or a fresh one otherwise.
 func (s *Sampler) Take() []receipt.SampleRecord {
-	out := make([]receipt.SampleRecord, len(s.samples))
-	copy(out, s.samples)
-	s.samples = s.samples[:0]
+	out := s.samples
+	s.samples = s.spare
+	s.spare = nil
 	return out
+}
+
+// Recycle hands a no-longer-needed record buffer back to the sampler
+// for reuse by a future Take. Only call with buffers whose contents
+// nothing retains.
+func (s *Sampler) Recycle(buf []receipt.SampleRecord) {
+	if cap(buf) > cap(s.spare) {
+		s.spare = buf[:0]
+	}
 }
 
 // Pending returns the number of packets currently awaiting a marker in
@@ -141,12 +205,21 @@ func (s *Sampler) Pending() int { return len(s.temp) }
 
 // TempHighWater returns the maximum temporary-buffer occupancy seen,
 // in packets — the §7.1 memory-budget quantity.
-func (s *Sampler) TempHighWater() int { return s.tempHighWater }
+func (s *Sampler) TempHighWater() int {
+	if len(s.temp) > s.tempHighWater {
+		return len(s.temp)
+	}
+	return s.tempHighWater
+}
 
 // Stats returns (packets observed, markers seen, packets sampled).
 func (s *Sampler) Stats() (observed, markers, sampled uint64) {
 	return s.observed, s.markers, s.sampled
 }
+
+// Retained returns how many sampled records passed the retention
+// filter into receipts. Without thinning it equals the sampled count.
+func (s *Sampler) Retained() uint64 { return s.retained }
 
 // EffectiveRate returns the empirical fraction of observed packets
 // that were sampled so far.

@@ -98,6 +98,16 @@ func (s *Sketch) Add(id uint64) { s.apply(id, 1) }
 // Len returns the net number of items folded in.
 func (s *Sketch) Len() int64 { return s.n }
 
+// Reset clears the sketch for reuse, preserving its shape and seed —
+// the pooling hook the streaming aggregation backend uses to avoid
+// reallocating cell arrays every epoch.
+func (s *Sketch) Reset() {
+	for i := range s.cells {
+		s.cells[i] = cell{}
+	}
+	s.n = 0
+}
+
 // Cells returns the sketch's size in cells.
 func (s *Sketch) Cells() int { return len(s.cells) }
 

@@ -1,0 +1,95 @@
+package streamagg
+
+import (
+	"sync"
+
+	"vpm/internal/receipt"
+	"vpm/internal/sketch"
+)
+
+// PathSketch is the pooled streaming summary state for one
+// (HOP, traffic key): the count of sampled packets, an IBLT over the
+// full pre-thinning sampled set, and a histogram of sampled
+// interarrival times. A collector feeds it every sampled record (via
+// the sampler's sink hook) and seals it at epoch close; the verifier
+// subtracts two HOPs' IBLTs to recover the exact sampled-set
+// difference and compares histogram quantiles within FastHist's
+// proven error bound. Not safe for concurrent use.
+type PathSketch struct {
+	Path receipt.PathID
+	// Sampled counts every record folded in — the pre-thinning
+	// sampled-set size, which the §4 loss accounting needs even when
+	// only a subsample is retained exactly.
+	Sampled uint64
+	// Interarrival summarizes successive sampled observation gaps.
+	Interarrival FastHist
+
+	iblt    *sketch.Sketch
+	lastT   int64
+	hasLast bool
+}
+
+// Observe folds one sampled record into the sketch.
+func (ps *PathSketch) Observe(pktID uint64, tNS int64) {
+	ps.Sampled++
+	if ps.iblt != nil {
+		ps.iblt.Add(pktID)
+	}
+	if ps.hasLast {
+		ps.Interarrival.Observe(tNS - ps.lastT)
+	}
+	ps.lastT = tNS
+	ps.hasLast = true
+}
+
+// IBLT returns the content sketch (nil when the pool was built with
+// zero cells).
+func (ps *PathSketch) IBLT() *sketch.Sketch { return ps.iblt }
+
+// Pool hands out reset PathSketches, reusing sealed ones returned via
+// Put so steady-state epoch rotation allocates nothing.
+type Pool struct {
+	cells int
+	seed  uint64
+	pool  sync.Pool
+}
+
+// NewPool builds a pool producing sketches with the given IBLT shape.
+// cells = 0 disables the IBLT (count + histogram only).
+func NewPool(cells int, seed uint64) *Pool {
+	return &Pool{cells: cells, seed: seed}
+}
+
+// Get returns a zeroed sketch bound to path.
+func (pl *Pool) Get(path receipt.PathID) *PathSketch {
+	ps, _ := pl.pool.Get().(*PathSketch)
+	if ps == nil {
+		ps = &PathSketch{}
+		if pl.cells > 0 {
+			ib, err := sketch.New(pl.cells, pl.seed)
+			if err != nil {
+				panic(err) // cells ≥ NumHashes is the pool builder's invariant
+			}
+			ps.iblt = ib
+		}
+	}
+	ps.Path = path
+	return ps
+}
+
+// Put returns a sealed sketch to the pool after its consumer is done
+// with it, resetting all state.
+func (pl *Pool) Put(ps *PathSketch) {
+	if ps == nil {
+		return
+	}
+	ps.Path = receipt.PathID{}
+	ps.Sampled = 0
+	ps.Interarrival.Reset()
+	ps.lastT = 0
+	ps.hasLast = false
+	if ps.iblt != nil {
+		ps.iblt.Reset()
+	}
+	pl.pool.Put(ps)
+}

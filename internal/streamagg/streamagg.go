@@ -1,0 +1,103 @@
+// Package streamagg is the streaming aggregation backend of the
+// collector hot path: constant-size per-path summary state that is
+// updated per sampled packet and flushed at epoch close, in place of
+// exact per-packet sample retention.
+//
+// The shape follows the VictoriaMetrics streamaggr idiom — pooled
+// fast-histogram quantile state keyed by traffic key, reused across
+// flush intervals — adapted to the paper's receipt pipeline:
+//
+//   - KeepFilter thins the *retained* sample records to a uniform
+//     threshold subsample (markers always kept), so the exact-record
+//     path shrinks to a configurable fraction while remaining a valid
+//     input to the paper's §4 consistency checks: the same
+//     deterministic filter runs at every HOP, so all HOPs retain the
+//     same subset and receipts still match record-for-record.
+//   - FastHist is a log-bucketed histogram with a proven relative
+//     error bound on its quantile estimates (≤ 1/64), the streaming
+//     substitute for sorting exact samples.
+//   - PathSketch bundles the per-(HOP, traffic key) streaming state:
+//     the sampled-packet count, an IBLT over the full pre-thinning
+//     sampled set (so verifiers can still recover exact set
+//     differences, §3.5), and a FastHist of sampled interarrival
+//     times. Sketches are pooled and reused across epochs.
+//
+// The exact path (KeepRate = 1, no sketches) remains the verification
+// oracle: property tests in internal/experiments check that sketched
+// estimates stay within the internal/quantile order-statistic
+// confidence bounds of the exact path.
+package streamagg
+
+import (
+	"fmt"
+
+	"vpm/internal/hashing"
+	"vpm/internal/sketch"
+)
+
+// Config parameterizes the streaming backend.
+type Config struct {
+	// KeepRate is the fraction of sampled (non-marker) records that
+	// are retained exactly in receipts; the rest are summarized only
+	// by the streaming state. 1 keeps everything (the exact oracle).
+	KeepRate float64
+	// Salt keys the thinning hash. It must be a system-wide constant:
+	// every HOP must make the same keep decision for a given packet
+	// or receipts stop matching record-for-record.
+	Salt uint64
+	// MarkerRate is the system-wide marker frequency (the sampling
+	// config's MarkerRate); the filter never thins markers, because
+	// the verifier re-derives marker timelines from retained records.
+	MarkerRate float64
+	// SketchCells sizes each path's IBLT. Size for the expected
+	// per-epoch set *difference* between HOPs, not the set itself.
+	SketchCells int
+	// SketchSeed seeds the IBLT hashing (a deployment constant).
+	SketchSeed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.KeepRate <= 0 || c.KeepRate > 1 {
+		return fmt.Errorf("streamagg: keep rate %v outside (0,1]", c.KeepRate)
+	}
+	if c.MarkerRate <= 0 || c.MarkerRate > 1 {
+		return fmt.Errorf("streamagg: marker rate %v outside (0,1]", c.MarkerRate)
+	}
+	if c.SketchCells < 0 {
+		return fmt.Errorf("streamagg: negative sketch cells %d", c.SketchCells)
+	}
+	if c.SketchCells > 0 && c.SketchCells < sketch.NumHashes {
+		return fmt.Errorf("streamagg: sketch needs at least %d cells, got %d", sketch.NumHashes, c.SketchCells)
+	}
+	return nil
+}
+
+// KeepFilter decides which sampled records are retained exactly. The
+// decision is a pure function of the packet digest and system-wide
+// constants, so every HOP retains the same subset (the §5.2 property
+// that makes thinned receipts directly comparable), and the retained
+// set is a uniform subsample of the sampled set — the thinning hash is
+// independent of the marker-keyed sampling hash — so order-statistic
+// quantile bounds computed on retained records remain valid for the
+// sampled population.
+type KeepFilter struct {
+	mu    uint64 // marker threshold µ: markers are always kept
+	theta uint64 // thinning threshold
+	salt  uint64
+}
+
+// NewKeepFilter builds the filter retaining ~keepRate of sampled
+// records (markers always retained).
+func NewKeepFilter(keepRate float64, salt uint64, markerRate float64) KeepFilter {
+	return KeepFilter{
+		mu:    hashing.ThresholdForRate(markerRate),
+		theta: hashing.ThresholdForRate(keepRate),
+		salt:  salt,
+	}
+}
+
+// Keep reports whether a sampled packet's record is retained exactly.
+func (f KeepFilter) Keep(pktID uint64) bool {
+	return hashing.Exceeds(pktID, f.mu) || hashing.Exceeds(hashing.Mix64(pktID^f.salt), f.theta)
+}

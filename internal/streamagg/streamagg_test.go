@@ -1,0 +1,237 @@
+package streamagg
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vpm/internal/hashing"
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/sketch"
+	"vpm/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{KeepRate: 0, MarkerRate: 0.01},
+		{KeepRate: 1.5, MarkerRate: 0.01},
+		{KeepRate: 0.1, MarkerRate: 0},
+		{KeepRate: 0.1, MarkerRate: 0.01, SketchCells: -1},
+		{KeepRate: 0.1, MarkerRate: 0.01, SketchCells: 2},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	good := Config{KeepRate: 0.1, MarkerRate: 0.001, SketchCells: 128}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestKeepFilterPreservesMarkers proves no marker is ever thinned:
+// the verifier's marker-timeline re-derivation depends on every
+// retained receipt still containing every marker.
+func TestKeepFilterPreservesMarkers(t *testing.T) {
+	f := NewKeepFilter(0.01, 0xfeed, 0.001)
+	mu := hashing.ThresholdForRate(0.001)
+	r := stats.NewRNG(7)
+	markers := 0
+	for i := 0; i < 2_000_000; i++ {
+		id := r.Uint64()
+		if hashing.Exceeds(id, mu) {
+			markers++
+			if !f.Keep(id) {
+				t.Fatalf("marker %x thinned", id)
+			}
+		}
+	}
+	if markers == 0 {
+		t.Fatal("no markers generated")
+	}
+}
+
+// TestKeepFilterRateAndDeterminism: the filter keeps ~KeepRate of
+// non-marker ids and is a pure function (two instances agree).
+func TestKeepFilterRateAndDeterminism(t *testing.T) {
+	const rate = 0.05
+	f := NewKeepFilter(rate, 42, 0.001)
+	g := NewKeepFilter(rate, 42, 0.001)
+	mu := hashing.ThresholdForRate(0.001)
+	r := stats.NewRNG(9)
+	kept, total := 0, 0
+	for i := 0; i < 1_000_000; i++ {
+		id := r.Uint64()
+		if hashing.Exceeds(id, mu) {
+			continue
+		}
+		total++
+		k := f.Keep(id)
+		if k != g.Keep(id) {
+			t.Fatal("filter not deterministic")
+		}
+		if k {
+			kept++
+		}
+	}
+	got := float64(kept) / float64(total)
+	if math.Abs(got-rate) > 0.005 {
+		t.Fatalf("keep rate %v, want ~%v", got, rate)
+	}
+}
+
+// TestFastHistQuantileBound: for every quantile and distribution
+// tried, the exact k-th smallest value lies inside the returned bucket
+// bounds and the bounds obey the documented relative-error guarantee.
+func TestFastHistQuantileBound(t *testing.T) {
+	r := stats.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		var h FastHist
+		n := 1000 + int(r.Uint64()%5000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Log-uniform values spanning nine decades, plus small ints.
+			switch trial % 3 {
+			case 0:
+				vals[i] = int64(r.Uint64() % 1_000_000_000)
+			case 1:
+				vals[i] = int64(r.Uint64() % 100)
+			default:
+				vals[i] = int64(1) << (r.Uint64() % 40)
+			}
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.01, 0.5, 0.9, 0.99, 1} {
+			est, lo, hi, err := h.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := int(math.Ceil(q * float64(n)))
+			if k < 1 {
+				k = 1
+			}
+			exact := vals[k-1]
+			if exact < lo || exact > hi {
+				t.Fatalf("trial %d q=%v: exact %d outside bucket [%d,%d]", trial, q, exact, lo, hi)
+			}
+			if lo > 0 && float64(hi-lo) > float64(lo)*RelErrBound {
+				t.Fatalf("bucket [%d,%d] wider than relative bound", lo, hi)
+			}
+			if est < float64(lo) || est > float64(hi) {
+				t.Fatalf("estimate %v outside own bounds [%d,%d]", est, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFastHistMergeAndReset(t *testing.T) {
+	var a, b, all FastHist
+	r := stats.NewRNG(13)
+	for i := 0; i < 10_000; i++ {
+		v := int64(r.Uint64() % 1_000_000)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() {
+		t.Fatalf("merge: count/sum %d/%d, want %d/%d", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	ea, _, _, _ := a.Quantile(0.9)
+	eall, _, _, _ := all.Quantile(0.9)
+	if ea != eall {
+		t.Fatalf("merged quantile %v != direct %v", ea, eall)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if _, _, _, err := a.Quantile(0.5); err == nil {
+		t.Fatal("quantile of empty histogram did not error")
+	}
+}
+
+func testPath() receipt.PathID {
+	return receipt.PathKeyOf(
+		packet.MakePrefix(10, 1, 0, 0, 16),
+		packet.MakePrefix(172, 16, 0, 0, 16),
+		4, 5, 2_000_000)
+}
+
+// TestPathSketchDifferenceDecodes: two sketches fed overlapping sets
+// decode exactly the set difference — the §3.5 loss/injection
+// fingerprint survives the pooled streaming path.
+func TestPathSketchDifferenceDecodes(t *testing.T) {
+	pool := NewPool(256, 99)
+	up := pool.Get(testPath())
+	down := pool.Get(testPath())
+	r := stats.NewRNG(17)
+	lost := map[uint64]bool{}
+	for i := 0; i < 50_000; i++ {
+		id := r.Uint64()
+		tNS := int64(i) * 1000
+		up.Observe(id, tNS)
+		if i%1000 == 7 { // downstream misses a few
+			lost[id] = true
+			continue
+		}
+		down.Observe(id, tNS+5000)
+	}
+	diff, err := up.IBLT().Subtract(down.IBLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLost, injected, ok := diff.Decode()
+	if !ok {
+		t.Fatal("difference did not decode")
+	}
+	if len(injected) != 0 {
+		t.Fatalf("phantom injected ids: %d", len(injected))
+	}
+	if len(gotLost) != len(lost) {
+		t.Fatalf("decoded %d lost, want %d", len(gotLost), len(lost))
+	}
+	for _, id := range gotLost {
+		if !lost[id] {
+			t.Fatalf("decoded id %x was not lost", id)
+		}
+	}
+	if up.Sampled != 50_000 {
+		t.Fatalf("upstream sampled %d", up.Sampled)
+	}
+}
+
+// TestPoolReuse: a sketch returned to the pool comes back zeroed, and
+// reuse does not leak prior contents into the next epoch's decode.
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(64, 5)
+	ps := pool.Get(testPath())
+	for i := uint64(1); i <= 100; i++ {
+		ps.Observe(i*0x9e3779b9, int64(i))
+	}
+	pool.Put(ps)
+	fresh := pool.Get(testPath())
+	if fresh.Sampled != 0 || fresh.Interarrival.Count() != 0 {
+		t.Fatal("pooled sketch not reset")
+	}
+	if fresh.IBLT().Len() != 0 {
+		t.Fatal("pooled IBLT not reset")
+	}
+	empty, err := sketch.New(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sketch.Compare(fresh.IBLT(), empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Lost) != 0 || len(v.Injected) != 0 || !v.Decoded {
+		t.Fatal("reused IBLT retained prior epoch contents")
+	}
+}
