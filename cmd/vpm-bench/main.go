@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo|churn]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo|churn|segstore]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
 //	          [-json] [-shards 1,2,4,8] [-workers 1,2,4,8]
 //	          [-churn-keys 1048576] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -58,7 +58,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn")
+		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn, segstore")
 		duration   = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
 		rate       = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
@@ -119,8 +119,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" && *run != "churn" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, topo or churn"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" && *run != "churn" && *run != "segstore" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, topo, churn or segstore"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -309,6 +309,36 @@ func main() {
 		} else {
 			section("Mesh & multipath — topology families, shared-link blame")
 			fmt.Fprint(w, experiments.TopoRender(rows, *markdown))
+		}
+	}
+	if wanted("segstore") {
+		ran = true
+		// The durable-store sweep: block write + seal throughput and
+		// cold-recovery replay, in-memory ceiling vs real disk. -epochs
+		// scales the store size (64 per backend by default).
+		segEpochs := *epochs
+		if segEpochs <= 8 {
+			segEpochs = 64 // the vpm-node default is too small to measure
+		}
+		rows, err := experiments.Segstore(segEpochs)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                    `json:"experiment"`
+				Seed       uint64                    `json:"seed"`
+				Epochs     int                       `json:"epochs"`
+				Rows       []experiments.SegstoreRow `json:"rows"`
+			}{"segstore", cfg.Seed, segEpochs, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Durable segment store — write and recovery-replay throughput")
+			fmt.Fprint(w, experiments.SegstoreRender(rows, *markdown))
 		}
 	}
 	if *run == "churn" { // too heavy for "all": cycles -churn-keys distinct paths

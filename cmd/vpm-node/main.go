@@ -12,20 +12,41 @@
 //
 //	vpm-node [-epochs 8] [-interval 250ms] [-rate 50000] [-seed 1]
 //	         [-retention 2] [-shards 1] [-workers 1] [-json] [-quiet]
+//	         [-data-dir DIR] [-disk-retention N] [-http ADDR]
+//	         [-serve-only] [-pace]
+//
+// With -data-dir, sealed epochs and their verdict reports persist to a
+// durable segment store (internal/segstore): the RAM window stays the
+// verification working set while history accumulates on disk, and a
+// killed process recovers on restart — boot replays the store's
+// manifest, reports what survived, and the deterministic pipeline
+// re-executes the stream without re-persisting (or re-verifying)
+// anything already durable. A store that cannot be opened —
+// corrupt manifest, segment failing its checksum — is a refusal to
+// start (exit 3, see BootError), never a silent empty history.
+//
+// -http serves the historical-verdict query API (see
+// docs/OPERATIONS.md) alongside the run; -serve-only skips the
+// pipeline entirely and just serves an existing store — the post-hoc
+// audit mode. -pace slows the simulation to real time (one epoch per
+// -interval of wall clock), the cadence a live deployment would have.
 //
 // SIGINT or SIGTERM stops cleanly at the next epoch boundary (systemd
 // and docker stop send SIGTERM; treating it like SIGINT is what makes
 // the daemon's epoch-boundary shutdown reachable in production — see
 // docs/OPERATIONS.md). A second signal aborts immediately via context
 // cancellation. The process exits 0 iff every started epoch was
-// verified and shut down cleanly.
+// verified (or recovered already-verified) and shut down cleanly.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,7 +54,30 @@ import (
 
 	"vpm/internal/core"
 	"vpm/internal/experiments"
+	"vpm/internal/segstore"
 )
+
+// BootError wraps a failure to establish the durable store at boot.
+// It exists so "the node lost or cannot trust its evidence" is a
+// distinct, testable failure mode (exit code 3) rather than a generic
+// crash: an operator seeing exit 3 knows the data directory needs
+// attention and that the process refused to start with silently empty
+// history.
+type BootError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *BootError) Error() string { return "durable store boot failure: " + e.Err.Error() }
+
+// Unwrap exposes the underlying store error (segstore.ErrCorruptManifest,
+// segstore.ErrSegmentIntegrity, ...).
+func (e *BootError) Unwrap() error { return e.Err }
+
+// bootExitCode is the exit status for BootError — distinct from 1
+// (runtime failure) so supervisors can tell "fix the data dir" from
+// "the run failed".
+const bootExitCode = 3
 
 func main() {
 	var (
@@ -41,24 +85,18 @@ func main() {
 		interval  = flag.Duration("interval", 250*time.Millisecond, "epoch length (simulated time)")
 		rate      = flag.Float64("rate", 50000, "foreground packet rate (packets/second)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
-		retention = flag.Int("retention", 2, "verified epochs kept before eviction")
+		retention = flag.Int("retention", 2, "verified epochs kept in RAM before eviction")
 		shards    = flag.Int("shards", 1, "collector shards per HOP (0 = GOMAXPROCS)")
 		workers   = flag.Int("workers", 1, "verifier worker-pool size (0 = GOMAXPROCS)")
 		jsonOut   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		quiet     = flag.Bool("quiet", false, "suppress per-epoch lines")
+		dataDir   = flag.String("data-dir", "", "durable store directory (empty: RAM only)")
+		diskRet   = flag.Int("disk-retention", 0, "sealed epochs kept on disk (0 = unbounded; needs -data-dir)")
+		httpAddr  = flag.String("http", "", "serve the historical-verdict query API on this address (needs -data-dir)")
+		serveOnly = flag.Bool("serve-only", false, "serve an existing store's query API without running the pipeline")
+		pace      = flag.Bool("pace", false, "pace epochs in real time (one per -interval of wall clock)")
 	)
 	flag.Parse()
-
-	cfg := experiments.Config{Seed: *seed, RatePPS: *rate, DurationNS: interval.Nanoseconds()}
-	ec := core.EpochConfig{
-		IntervalNS: interval.Nanoseconds(),
-		Retention:  *retention,
-		Workers:    *workers,
-		Shards:     *shards,
-	}
-	if err := ec.Validate(); err != nil {
-		fatal(err)
-	}
 
 	// First SIGINT/SIGTERM: finish the epoch in flight, verify it,
 	// summarize, exit 0. A second signal cancels the context, which
@@ -77,6 +115,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vpm-node: second signal — aborting")
 		cancel()
 	}()
+
+	// Durable store boot (recovery included).
+	var store *segstore.Store
+	if *dataDir != "" {
+		s, stats, err := segstore.Open(*dataDir, segstore.Options{
+			DiskRetention: *diskRet,
+			AutoCompact:   true,
+		})
+		if err != nil {
+			fatalBoot(&BootError{Err: err})
+		}
+		store = s
+		defer store.Close()
+		fmt.Fprintf(os.Stderr, "vpm-node: %s: %s\n", *dataDir, stats)
+	} else if *diskRet != 0 || *httpAddr != "" || *serveOnly {
+		fatal(errors.New("-disk-retention, -http and -serve-only need -data-dir"))
+	}
+
+	// Query API server, alongside the run or standalone (-serve-only).
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(fmt.Errorf("query API listen: %w", err))
+		}
+		srv := &http.Server{Handler: segstore.NewHandler(store, segstore.APIConfig{IntervalNS: interval.Nanoseconds()})}
+		go srv.Serve(ln)
+		defer srv.Shutdown(context.Background())
+		fmt.Fprintf(os.Stderr, "vpm-node: query API on http://%s\n", ln.Addr())
+	}
+	if *serveOnly {
+		if *httpAddr == "" {
+			fatal(errors.New("-serve-only without -http serves nothing"))
+		}
+		fmt.Fprintln(os.Stderr, "vpm-node: serve-only — signal to exit")
+		<-stop
+		fmt.Fprintln(os.Stderr, "vpm-node: clean shutdown")
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, RatePPS: *rate, DurationNS: interval.Nanoseconds()}
+	ec := core.EpochConfig{
+		IntervalNS: interval.Nanoseconds(),
+		Retention:  *retention,
+		Workers:    *workers,
+		Shards:     *shards,
+	}
+	if err := ec.Validate(); err != nil {
+		fatal(err)
+	}
 
 	onEpoch := func(rep core.EpochReport, ws core.WindowStats) {
 		if *quiet || *jsonOut {
@@ -97,26 +184,37 @@ func main() {
 		fmt.Println()
 	}
 
-	start := time.Now()
-	res, err := experiments.RunContinuousOpts(cfg, ec, *epochs, experiments.ContinuousOptions{
+	opts := experiments.ContinuousOptions{
 		OnEpoch: onEpoch,
 		Stop:    stop,
 		Ctx:     ctx,
-	})
+	}
+	if store != nil {
+		opts.Backend = segstore.Backend{Store: store}
+	}
+	if *pace {
+		opts.Pace = *interval
+	}
+
+	start := time.Now()
+	res, err := experiments.RunContinuousOpts(cfg, ec, *epochs, opts)
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start)
 
-	if len(res.Reports) != res.EpochsSealed {
+	if len(res.Reports)+res.RecoveredEpochs != res.EpochsSealed {
 		// Every sealed epoch — each simulated interval plus the
-		// terminal spill — must have been verified before shutdown.
-		fatal(fmt.Errorf("sealed %d epochs but verified %d", res.EpochsSealed, len(res.Reports)))
+		// terminal spill — must have been verified before shutdown,
+		// or recovered already-verified from the durable store.
+		fatal(fmt.Errorf("sealed %d epochs but verified %d and recovered %d",
+			res.EpochsSealed, len(res.Reports), res.RecoveredEpochs))
 	}
 
 	if *jsonOut {
-		// Same schema as vpm-bench -run epochs rows (BENCH_*.json), so
-		// the two outputs cannot drift apart.
+		// EpochsRow keeps the vpm-bench -run epochs schema (BENCH_*.json)
+		// so the two outputs cannot drift apart; the durable-store fields
+		// ride alongside.
 		row := experiments.EpochsRow{
 			Mode:           "continuous",
 			Epochs:         res.EpochsRun,
@@ -144,9 +242,18 @@ func main() {
 			row.MeanEpochMS = float64(sum.Nanoseconds()) / float64(n) / 1e6
 			row.MaxEpochMS = float64(max.Nanoseconds()) / 1e6
 		}
+		out := struct {
+			experiments.EpochsRow
+			RecoveredEpochs int             `json:"recovered_epochs"`
+			Store           *segstore.Stats `json:"store,omitempty"`
+		}{EpochsRow: row, RecoveredEpochs: res.RecoveredEpochs}
+		if store != nil {
+			st := store.StoreStats()
+			out.Store = &st
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(row); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
 		return
@@ -158,10 +265,21 @@ func main() {
 		res.SampleReceipts, res.AggReceipts, res.MatchedSamples, res.Violations)
 	fmt.Printf("vpm-node: window holds %d segments (%d evicted), steady-state heap %.1f MB\n",
 		res.Window.Segments, res.Window.Evicted, float64(res.HeapAllocBytes)/(1<<20))
+	if store != nil {
+		st := store.StoreStats()
+		fmt.Printf("vpm-node: durable store holds %d sealed epochs in %d segments (%d reports, %.1f KB), %d recovered\n",
+			st.SealedEpochs, st.Segments, st.Reports, float64(st.Bytes)/(1<<10), res.RecoveredEpochs)
+	}
 	fmt.Println("vpm-node: clean shutdown")
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vpm-node:", err)
 	os.Exit(1)
+}
+
+// fatalBoot reports a BootError and exits with the boot-failure code.
+func fatalBoot(err *BootError) {
+	fmt.Fprintln(os.Stderr, "vpm-node:", err)
+	os.Exit(bootExitCode)
 }

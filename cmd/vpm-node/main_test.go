@@ -2,13 +2,28 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"vpm/internal/segstore"
 )
+
+// buildNode compiles the vpm-node binary into a temp dir.
+func buildNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vpm-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // TestSIGTERMCleanShutdown is the regression test for the daemon dying
 // mid-epoch under systemd/docker stop: SIGTERM (not just SIGINT) must
@@ -18,11 +33,7 @@ func TestSIGTERMCleanShutdown(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the vpm-node binary")
 	}
-	bin := filepath.Join(t.TempDir(), "vpm-node")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("build: %v\n%s", err, out)
-	}
+	bin := buildNode(t)
 
 	// Enough epochs that the run is guaranteed to still be in flight
 	// when the signal lands.
@@ -54,5 +65,75 @@ func TestSIGTERMCleanShutdown(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "stopping at the next epoch boundary") {
 		t.Fatalf("signal handler did not announce the boundary stop:\n%s", stderr.String())
+	}
+}
+
+// TestBootErrorWrapsStoreErrors pins the typed failure path itself: a
+// BootError unwraps to the segstore error that caused it, so callers
+// (and the exit-code test below) can tell corruption from misuse.
+func TestBootErrorWrapsStoreErrors(t *testing.T) {
+	err := &BootError{Err: segstore.ErrCorruptManifest}
+	if !errors.Is(err, segstore.ErrCorruptManifest) {
+		t.Fatal("BootError does not unwrap to its cause")
+	}
+	if !strings.Contains(err.Error(), "durable store boot failure") {
+		t.Fatalf("BootError message %q lacks the boot prefix", err.Error())
+	}
+}
+
+// TestCorruptStoreRefusesBoot is the operator-facing contract: a node
+// pointed at a data directory it cannot trust must refuse to start with
+// the dedicated boot exit code (3) rather than run with silently empty
+// history (or crash with a generic 1).
+func TestCorruptStoreRefusesBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vpm-node binary")
+	}
+	bin := buildNode(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-epochs", "1", "-interval", "50ms", "-data-dir", dir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("corrupt store: err = %v, want non-zero exit\nstderr:\n%s", err, stderr.String())
+	}
+	if code := exit.ExitCode(); code != bootExitCode {
+		t.Fatalf("corrupt store: exit code %d, want %d\nstderr:\n%s", code, bootExitCode, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "durable store boot failure") {
+		t.Fatalf("stderr does not name the boot failure:\n%s", stderr.String())
+	}
+}
+
+// TestDiskFlagsRequireDataDir: the durable-store companion flags are
+// meaningless without a store, and silently ignoring them would hide
+// operator typos.
+func TestDiskFlagsRequireDataDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vpm-node binary")
+	}
+	bin := buildNode(t)
+	for _, args := range [][]string{
+		{"-http", "127.0.0.1:0"},
+		{"-disk-retention", "4"},
+		{"-serve-only"},
+	} {
+		cmd := exec.Command(bin, append([]string{"-epochs", "1"}, args...)...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		var exit *exec.ExitError
+		if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+			t.Fatalf("%v without -data-dir: err = %v, want exit 1\nstderr:\n%s", args, err, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "need -data-dir") {
+			t.Fatalf("%v: stderr does not explain the missing -data-dir:\n%s", args, stderr.String())
+		}
 	}
 }

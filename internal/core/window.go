@@ -68,6 +68,14 @@ type WindowedStore struct {
 	hasSealed bool
 	finished  bool // stream over: no further epochs will seal
 	evicted   uint64
+	// Durable persistence (see backend.go). backend mirrors seals to
+	// stable storage; durable/hasDurable is the recovery watermark
+	// captured at attach; recovered counts epochs whose verification
+	// was skipped because a durable verdict report already existed.
+	backend    StoreBackend
+	durable    EpochID
+	hasDurable bool
+	recovered  uint64
 }
 
 // epochSegment is one epoch's worth of raw receipts plus its
@@ -96,6 +104,14 @@ func (s *epochSegment) add(hop receipt.HOPID, samples []receipt.SampleReceipt, a
 	defer s.mu.Unlock()
 	s.samples[hop] = append(s.samples[hop], samples...)
 	s.aggs[hop] = append(s.aggs[hop], aggs...)
+}
+
+// receipts snapshots the segment's receipt slices for hop — the final
+// set at seal time, handed to the durable backend.
+func (s *epochSegment) receipts(hop receipt.HOPID) ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples[hop], s.aggs[hop]
 }
 
 // ingestInto files the segment's receipts for hop into store.
@@ -197,7 +213,11 @@ func (w *WindowedStore) IngestBundle(b *dissem.Bundle) error {
 }
 
 // SealHOP records that hop has no further receipts for epoch. When the
-// last expected HOP seals an epoch it counts toward readiness.
+// last expected HOP seals an epoch it counts toward readiness. With a
+// durable backend attached, the HOP's now-final receipt set is
+// mirrored to it here, and the epoch's durable seal is committed when
+// the last HOP seals — unless the epoch predates the recovery
+// watermark (already durable; re-persisting would double-count).
 func (w *WindowedStore) SealHOP(hop receipt.HOPID, epoch EpochID) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -205,9 +225,24 @@ func (w *WindowedStore) SealHOP(hop receipt.HOPID, epoch EpochID) error {
 	if err != nil {
 		return err
 	}
+	first := !seg.sealedBy[hop]
 	seg.sealedBy[hop] = true
-	if w.sealedLocked(seg) && (!w.hasSealed || epoch > w.maxSealed) {
-		w.maxSealed, w.hasSealed = epoch, true
+	persist := first && w.backend != nil && !w.durableSealLocked(epoch)
+	if persist {
+		samples, aggs := seg.receipts(hop)
+		if err := w.backend.AppendEpochHOP(epoch, hop, samples, aggs); err != nil {
+			return fmt.Errorf("core: persisting %v epoch %d: %w", hop, epoch, err)
+		}
+	}
+	if w.sealedLocked(seg) {
+		if !w.hasSealed || epoch > w.maxSealed {
+			w.maxSealed, w.hasSealed = epoch, true
+		}
+		if persist {
+			if err := w.backend.SealEpoch(epoch); err != nil {
+				return fmt.Errorf("core: durably sealing epoch %d: %w", epoch, err)
+			}
+		}
 	}
 	return nil
 }
@@ -581,6 +616,9 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 	}
 	keys := claims.Keys()
 	if len(keys) == 0 {
+		if err := rv.win.persistReport(rep); err != nil {
+			return rep, err
+		}
 		return rep, rv.win.MarkVerified(epoch)
 	}
 	// One work item per (key, route layout): a linear path has exactly
@@ -665,6 +703,11 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 			return rep, err
 		}
 	}
+	// The verdict goes durable before the RAM window forgets the epoch
+	// needs judging — a crash between the two re-verifies, never skips.
+	if err := rv.win.persistReport(rep); err != nil {
+		return rep, err
+	}
 	if err := rv.win.MarkVerified(epoch); err != nil {
 		return rep, err
 	}
@@ -672,10 +715,17 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 }
 
 // VerifyReady verifies every Ready epoch in ascending order and
-// returns their reports.
+// returns their reports. Epochs recovered from a durable backend —
+// sealed below the recovery watermark with a verdict report already on
+// disk — are marked verified without re-verification and yield no
+// report here (the durable report stands; WindowedStore.Recovered
+// counts them).
 func (rv *RollingVerifier) VerifyReady() ([]EpochReport, error) {
 	var out []EpochReport
 	for _, e := range rv.win.Ready() {
+		if rv.win.skipRecovered(e) {
+			continue
+		}
 		rep, err := rv.VerifyEpoch(e)
 		if err != nil {
 			return out, err

@@ -1,0 +1,12 @@
+// Package e2e holds the black-box end-to-end harness: it builds the
+// real vpm-node binary, runs it as a child process against a real
+// on-disk data directory, kills it with SIGKILL at randomized points
+// mid-epoch, restarts it, and checks the durable-store recovery
+// contract from the outside — no test hooks, no in-process shortcuts.
+// The oracle is a reference run of the same binary with the same seed
+// that was never interrupted: after recovery converges, the union of
+// persisted verdicts must be byte-identical to the reference's.
+//
+// Everything lives in the package's tests; there is no library here to
+// import. See kill9_test.go.
+package e2e

@@ -64,6 +64,20 @@ type ContinuousResult struct {
 	// Unverified lists the epochs still held unverified at shutdown
 	// (empty on an honest run).
 	Unverified []core.EpochID
+	// RecoveredEpochs counts the epochs whose verification was skipped
+	// because the durable backend already held their verdict reports
+	// (only non-zero when ContinuousOptions.Backend resumes a prior
+	// run); Reports covers the other EpochsSealed − RecoveredEpochs.
+	RecoveredEpochs int
+}
+
+// stopOrNil returns stop, or a never-ready channel when stop is nil,
+// so it can sit in a select arm unconditionally.
+func stopOrNil(stop <-chan struct{}) <-chan struct{} {
+	if stop != nil {
+		return stop
+	}
+	return nil // nil channel: blocks forever
 }
 
 // hopSigner derives a HOP's deterministic signing key for an
@@ -142,6 +156,18 @@ type ContinuousOptions struct {
 	// BiasChecks enables the per-epoch marker-bias check in rolling
 	// verification.
 	BiasChecks bool
+	// Backend attaches a durable store backend beneath the windowed
+	// store (see core.StoreBackend): sealed epochs and verdict reports
+	// persist to it, and epochs already durable from a previous run are
+	// neither re-persisted nor re-verified — the recovery path
+	// cmd/vpm-node uses after a crash.
+	Backend core.StoreBackend
+	// Pace, when positive, is the minimum wall-clock duration of each
+	// epoch: the loop sleeps out the remainder of the interval after
+	// simulating it. Simulated time normally outruns real time by
+	// orders of magnitude; pacing restores real-time epoch cadence so
+	// external events (signals, kill -9) land mid-stream.
+	Pace time.Duration
 }
 
 // RunContinuous drives the Fig1 workload over `epochs` rotating
@@ -217,6 +243,9 @@ func RunContinuousOpts(cfg Config, ec core.EpochConfig, epochs int, opts Continu
 	win, err := core.NewWindowedStore(hops, ec.Retention)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Backend != nil {
+		win.AttachBackend(opts.Backend)
 	}
 
 	res := &ContinuousResult{}
@@ -397,6 +426,23 @@ func RunContinuousOpts(cfg Config, ec core.EpochConfig, epochs int, opts Continu
 		case notify <- struct{}{}:
 		default: // verifier already has a pending wakeup
 		}
+		if remain := opts.Pace - time.Since(start); opts.Pace > 0 && remain > 0 {
+			// Real-time pacing: sleep out the interval, still answering
+			// stop and cancellation promptly.
+			timer := time.NewTimer(remain)
+			var done <-chan struct{}
+			if opts.Ctx != nil {
+				done = opts.Ctx.Done()
+			}
+			select {
+			case <-timer.C:
+			case <-stopOrNil(stop):
+				stopped = true
+			case <-done:
+				stopped = true
+			}
+			timer.Stop()
+		}
 	}
 	// Deliver the replay observations withheld at the final boundary,
 	// then seal every HOP's terminal epoch.
@@ -430,6 +476,7 @@ func RunContinuousOpts(cfg Config, ec core.EpochConfig, epochs int, opts Continu
 		}
 	}
 
+	res.RecoveredEpochs = int(win.Recovered())
 	res.Window = win.Stats()
 	// Steady-state heap: drop the trace machinery, keep the window.
 	gen = nil

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"vpm/internal/packet"
+	"vpm/internal/receipt"
+	"vpm/internal/segstore"
+)
+
+// The segstore experiment measures the durable backend in isolation:
+// how fast sealed epochs stream onto the store (block encode + CRC +
+// write + manifest commit per seal) and how fast a cold Open replays
+// them back (full-file CRC + block scan per segment) — the write and
+// recovery halves of the crash-durability story. Two backends per
+// sweep: "mem" is the codec ceiling (MemFS, no I/O), "disk" is the
+// real thing on a temp directory, fsyncs included.
+
+// SegstoreRow is one backend's measurement.
+type SegstoreRow struct {
+	// Backend is "mem" (MemFS ceiling) or "disk" (DirFS with fsync).
+	Backend string `json:"backend"`
+	// Epochs sealed; Blocks and Bytes are the store's resulting size.
+	Epochs int   `json:"epochs"`
+	Blocks int   `json:"blocks"`
+	Bytes  int64 `json:"bytes"`
+	// Write half: wall time to append and seal every epoch.
+	WriteWallMS float64 `json:"write_wall_ms"`
+	WriteMBps   float64 `json:"write_mb_per_sec"`
+	SealsPerSec float64 `json:"seals_per_sec"`
+	// Recovery half: wall time for a cold Open over the sealed store.
+	RecoverWallMS   float64 `json:"recover_wall_ms"`
+	RecoverMBps     float64 `json:"recover_mb_per_sec"`
+	RecoveredEpochs int     `json:"recovered_epochs"`
+}
+
+// segstorePath builds the path identity the synthetic receipts share.
+func segstorePath(hop receipt.HOPID) receipt.PathID {
+	return receipt.PathID{
+		Key: packet.PathKey{
+			Src: packet.MakePrefix(10, byte(hop), 0, 0, 16),
+			Dst: packet.MakePrefix(172, 16, byte(hop), 0, 24),
+		},
+		PrevHOP:   hop,
+		NextHOP:   hop + 1,
+		MaxDiffNS: 3_000_000,
+	}
+}
+
+// segstoreReceipts builds one HOP's sealed-epoch receipt set: a
+// deterministic, realistically sized payload (receipt wire encoding is
+// what lands in the segment blocks).
+func segstoreReceipts(epoch uint64, hop receipt.HOPID) ([]receipt.SampleReceipt, []receipt.AggReceipt) {
+	path := segstorePath(hop)
+	const nRecords = 128
+	records := make([]receipt.SampleRecord, nRecords)
+	for i := range records {
+		records[i] = receipt.SampleRecord{
+			PktID:  epoch*1_000_000 + uint64(hop)*10_000 + uint64(i),
+			TimeNS: int64(epoch)*1_000_000 + int64(i)*700,
+		}
+	}
+	samples := []receipt.SampleReceipt{{Path: path, Samples: records}}
+	aggs := []receipt.AggReceipt{{
+		Path:   path,
+		Agg:    receipt.AggID{First: epoch * 1_000_000, Last: epoch*1_000_000 + nRecords},
+		PktCnt: nRecords,
+	}}
+	return samples, aggs
+}
+
+// segstoreSweep runs the write and recovery halves against one backend.
+func segstoreSweep(backend string, dir string, fsys segstore.FS, epochs, hops int) (SegstoreRow, error) {
+	row := SegstoreRow{Backend: backend, Epochs: epochs}
+	store, _, err := segstore.Open(dir, segstore.Options{FS: fsys})
+	if err != nil {
+		return row, fmt.Errorf("segstore %s open: %w", backend, err)
+	}
+
+	writeStart := time.Now()
+	for epoch := uint64(0); epoch < uint64(epochs); epoch++ {
+		for h := 0; h < hops; h++ {
+			samples, aggs := segstoreReceipts(epoch, receipt.HOPID(h))
+			if err := store.Append(epoch, receipt.HOPID(h), samples, aggs); err != nil {
+				return row, fmt.Errorf("segstore %s append: %w", backend, err)
+			}
+		}
+		if err := store.Seal(epoch); err != nil {
+			return row, fmt.Errorf("segstore %s seal: %w", backend, err)
+		}
+	}
+	writeWall := time.Since(writeStart)
+	stats := store.StoreStats()
+	row.Blocks = epochs * hops
+	row.Bytes = stats.Bytes
+	row.WriteWallMS = float64(writeWall.Nanoseconds()) / 1e6
+	if s := writeWall.Seconds(); s > 0 {
+		row.WriteMBps = float64(stats.Bytes) / (1 << 20) / s
+		row.SealsPerSec = float64(epochs) / s
+	}
+	if err := store.Close(); err != nil {
+		return row, err
+	}
+
+	recoverStart := time.Now()
+	reopened, rstats, err := segstore.Open(dir, segstore.Options{FS: fsys})
+	if err != nil {
+		return row, fmt.Errorf("segstore %s recovery: %w", backend, err)
+	}
+	recoverWall := time.Since(recoverStart)
+	row.RecoveredEpochs = rstats.SealedEpochs
+	row.RecoverWallMS = float64(recoverWall.Nanoseconds()) / 1e6
+	if s := recoverWall.Seconds(); s > 0 {
+		row.RecoverMBps = float64(stats.Bytes) / (1 << 20) / s
+	}
+	if row.RecoveredEpochs != epochs {
+		return row, fmt.Errorf("segstore %s: recovered %d of %d epochs", backend, row.RecoveredEpochs, epochs)
+	}
+	return row, reopened.Close()
+}
+
+// Segstore measures segment write and recovery-replay throughput over
+// the in-memory and on-disk backends.
+func Segstore(epochs int) ([]SegstoreRow, error) {
+	if epochs <= 0 {
+		epochs = 64
+	}
+	const hops = 4
+	memRow, err := segstoreSweep("mem", "", segstore.NewMemFS(), epochs, hops)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "vpm-segstore-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	diskRow, err := segstoreSweep("disk", dir, nil, epochs, hops)
+	if err != nil {
+		return nil, err
+	}
+	return []SegstoreRow{memRow, diskRow}, nil
+}
+
+// SegstoreRender renders the sweep.
+func SegstoreRender(rows []SegstoreRow, markdown bool) string {
+	header := []string{"Backend", "Epochs", "Blocks", "MB", "write ms", "write MB/s", "seals/s", "recover ms", "recover MB/s"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Backend,
+			fmt.Sprintf("%d", r.Epochs),
+			fmt.Sprintf("%d", r.Blocks),
+			fmt.Sprintf("%.1f", float64(r.Bytes)/(1<<20)),
+			fmt.Sprintf("%.1f", r.WriteWallMS),
+			fmt.Sprintf("%.1f", r.WriteMBps),
+			fmt.Sprintf("%.0f", r.SealsPerSec),
+			fmt.Sprintf("%.1f", r.RecoverWallMS),
+			fmt.Sprintf("%.1f", r.RecoverMBps),
+		})
+	}
+	if markdown {
+		return Markdown(header, body)
+	}
+	return Table(header, body)
+}

@@ -1,0 +1,42 @@
+package segstore
+
+import (
+	"vpm/internal/core"
+	"vpm/internal/receipt"
+)
+
+// Backend adapts a Store to core.StoreBackend, the hook beneath
+// core.WindowedStore. The store itself speaks raw uint64 epochs so it
+// has no opinion about the pipeline's epoch lifecycle; this adapter is
+// the one place the two vocabularies meet.
+type Backend struct {
+	Store *Store
+}
+
+var _ core.StoreBackend = Backend{}
+
+// AppendEpochHOP implements core.StoreBackend.
+func (b Backend) AppendEpochHOP(epoch core.EpochID, hop receipt.HOPID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) error {
+	return b.Store.Append(uint64(epoch), hop, samples, aggs)
+}
+
+// SealEpoch implements core.StoreBackend.
+func (b Backend) SealEpoch(epoch core.EpochID) error {
+	return b.Store.Seal(uint64(epoch))
+}
+
+// LastSealed implements core.StoreBackend.
+func (b Backend) LastSealed() (core.EpochID, bool) {
+	epoch, ok := b.Store.LastSealed()
+	return core.EpochID(epoch), ok
+}
+
+// HasReport implements core.StoreBackend.
+func (b Backend) HasReport(epoch core.EpochID) bool {
+	return b.Store.HasReport(uint64(epoch))
+}
+
+// PutReport implements core.StoreBackend.
+func (b Backend) PutReport(epoch core.EpochID, encoded []byte) error {
+	return b.Store.PutReport(uint64(epoch), encoded)
+}
