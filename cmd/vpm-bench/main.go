@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|throughput|verify|epochs|topo|churn|segstore]
+//	vpm-bench [-run all|fig2|fig3|table1|memory|bandwidth|click|verif|attacks|seqdetect|throughput|verify|epochs|topo|churn|segstore]
 //	          [-duration 1s] [-rate 100000] [-seed 1] [-markdown] [-o out.md]
 //	          [-json] [-shards 1,2,4,8] [-workers 1,2,4,8]
 //	          [-churn-keys 1048576] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -58,7 +58,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn, segstore")
+		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore")
 		duration   = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
 		rate       = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
@@ -119,8 +119,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "topo" && *run != "churn" && *run != "segstore" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, topo, churn or segstore"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "seqdetect" && *run != "topo" && *run != "churn" && *run != "segstore" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, seqdetect, topo, churn or segstore"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -367,6 +367,41 @@ func main() {
 			fmt.Fprint(w, experiments.ChurnRender(row, *markdown))
 		}
 	}
+	if wanted("seqdetect") {
+		ran = true
+		// The sequential-detection frontier: latency-vs-magnitude
+		// curves (SPRT vs a memoryless per-epoch batch test) plus the
+		// adversary matrix rows carrying the batch/sequential
+		// epochs-to-verdict columns the CI gate checks.
+		frontier, err := experiments.SeqFrontier(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		matrix, err := experiments.AttackMatrix(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string                       `json:"experiment"`
+				Seed       uint64                       `json:"seed"`
+				RatePPS    float64                      `json:"rate_pps"`
+				DurationNS int64                        `json:"duration_ns"`
+				Frontier   []experiments.SeqFrontierRow `json:"frontier"`
+				Matrix     []experiments.MatrixRow      `json:"matrix"`
+			}{"seqdetect", cfg.Seed, cfg.RatePPS, cfg.DurationNS, frontier, matrix}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Sequential detection — latency-vs-magnitude frontier (SPRT vs per-epoch batch)")
+			fmt.Fprint(w, experiments.SeqFrontierRender(frontier, *markdown))
+			section("Adversary matrix — batch vs sequential epochs-to-verdict")
+			fmt.Fprint(w, experiments.MatrixRender(matrix, *markdown))
+		}
+	}
 	if wanted("epochs") {
 		ran = true
 		rows, err := experiments.Epochs(cfg, *epochs, retentions)
@@ -393,7 +428,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, throughput, verify, epochs, topo, churn)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore)", *run))
 	}
 }
 

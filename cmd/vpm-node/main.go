@@ -13,7 +13,15 @@
 //	vpm-node [-epochs 8] [-interval 250ms] [-rate 50000] [-seed 1]
 //	         [-retention 2] [-shards 1] [-workers 1] [-json] [-quiet]
 //	         [-data-dir DIR] [-disk-retention N] [-http ADDR]
-//	         [-serve-only] [-pace]
+//	         [-serve-only] [-pace] [-sequential]
+//
+// -sequential arms the rolling verifier's concurrent SPRT arm
+// (internal/seqdetect): per-(link, key) sequential detectors
+// accumulate evidence across packets and epochs and emit early
+// verdicts — logged as a per-epoch "SEQ VERDICT" line with the
+// fractional epochs-to-verdict, the crossing statistic and the
+// configured (α, β) — without touching the batch verdicts, whose
+// persisted encodings stay byte-identical to an unarmed run.
 //
 // With -data-dir, sealed epochs and their verdict reports persist to a
 // durable segment store (internal/segstore): the RAM window stays the
@@ -49,12 +57,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"vpm/internal/core"
 	"vpm/internal/experiments"
 	"vpm/internal/segstore"
+	"vpm/internal/seqdetect"
 )
 
 // BootError wraps a failure to establish the durable store at boot.
@@ -95,6 +105,7 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve the historical-verdict query API on this address (needs -data-dir)")
 		serveOnly = flag.Bool("serve-only", false, "serve an existing store's query API without running the pipeline")
 		pace      = flag.Bool("pace", false, "pace epochs in real time (one per -interval of wall clock)")
+		seq       = flag.Bool("sequential", false, "arm the concurrent SPRT arm: early sequential verdicts logged per epoch")
 	)
 	flag.Parse()
 
@@ -165,7 +176,9 @@ func main() {
 		fatal(err)
 	}
 
+	var seqVerdicts atomic.Int64
 	onEpoch := func(rep core.EpochReport, ws core.WindowStats) {
+		seqVerdicts.Add(int64(len(rep.Seq)))
 		if *quiet || *jsonOut {
 			return
 		}
@@ -182,6 +195,17 @@ func main() {
 			break
 		}
 		fmt.Println()
+		// Early sequential verdicts land in the epoch whose seal
+		// crossed the SPRT threshold — often a fraction of an epoch
+		// after the lie started, and before any batch judgment.
+		for _, v := range rep.Seq {
+			where := fmt.Sprintf("link %d->%d", v.Up, v.Down)
+			if v.Domain != "" {
+				where = "domain " + v.Domain
+			}
+			fmt.Printf("epoch %3d: SEQ VERDICT %s on %s key=%s at %.2f epochs (stat %.1f, n=%d, α=%.0e β=%.0e)\n",
+				rep.Epoch, v.Class, where, v.Key, v.EpochsToVerdict(), v.Stat, v.N, v.Alpha, v.Beta)
+		}
 	}
 
 	opts := experiments.ContinuousOptions{
@@ -194,6 +218,10 @@ func main() {
 	}
 	if *pace {
 		opts.Pace = *interval
+	}
+	if *seq {
+		sc := seqdetect.DefaultConfig()
+		opts.Sequential = &sc
 	}
 
 	start := time.Now()
@@ -245,8 +273,9 @@ func main() {
 		out := struct {
 			experiments.EpochsRow
 			RecoveredEpochs int             `json:"recovered_epochs"`
+			SeqVerdicts     int64           `json:"seq_verdicts,omitempty"`
 			Store           *segstore.Stats `json:"store,omitempty"`
-		}{EpochsRow: row, RecoveredEpochs: res.RecoveredEpochs}
+		}{EpochsRow: row, RecoveredEpochs: res.RecoveredEpochs, SeqVerdicts: seqVerdicts.Load()}
 		if store != nil {
 			st := store.StoreStats()
 			out.Store = &st

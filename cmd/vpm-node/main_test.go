@@ -7,12 +7,31 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"vpm/internal/segstore"
 )
+
+// lockedBuffer is safe to read while the child process writes to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // buildNode compiles the vpm-node binary into a temp dir.
 func buildNode(t *testing.T) string {
@@ -36,17 +55,33 @@ func TestSIGTERMCleanShutdown(t *testing.T) {
 	bin := buildNode(t)
 
 	// Enough epochs that the run is guaranteed to still be in flight
-	// when the signal lands.
-	cmd := exec.Command(bin, "-epochs", "100000", "-interval", "50ms", "-rate", "20000", "-quiet")
-	var stdout, stderr bytes.Buffer
-	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	// when the signal lands. Per-epoch output stays on (no -quiet): the
+	// first "epoch" line is the readiness signal that the handler is
+	// installed and the run is mid-flight, so the test never races the
+	// process's startup the way a fixed wall-clock sleep would under a
+	// loaded CI machine.
+	cmd := exec.Command(bin, "-epochs", "100000", "-interval", "50ms", "-rate", "20000")
+	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}
+	cmd.Stdout, cmd.Stderr = stdout, stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()
 
-	time.Sleep(400 * time.Millisecond)
+	ready := time.Now().Add(30 * time.Second)
+	for !strings.Contains(stdout.String(), "epoch ") {
+		if time.Now().After(ready) {
+			cmd.Process.Kill()
+			t.Fatalf("vpm-node never sealed an epoch within 30s\nstdout:\n%s\nstderr:\n%s",
+				stdout.String(), stderr.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("vpm-node exited before the first epoch: %v\nstderr:\n%s", err, stderr.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"vpm/internal/packet"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
+	"vpm/internal/seqdetect"
 )
 
 // This file implements the per-epoch (scoped) forms of the §4 link
@@ -52,6 +53,11 @@ type epochScope struct {
 	// edge (the stream finished at or inside it), so Join's tail
 	// region is bounded and may be compared.
 	tailComplete bool
+	// seq, when non-nil, captures per-packet evidence for the
+	// sequential arm (see seqarm.go). The checks only append to it;
+	// the rolling verifier feeds it to the engine after the parallel
+	// sweep, in deterministic work order.
+	seq *seqCollector
 }
 
 // epochLinkCheck is the scoped §4 link check: MaxDiff agreement, the
@@ -76,6 +82,12 @@ func (s *epochScope) epochLinkCheck(key packet.PathKey, linkID int, up, down rec
 	cdUniq, _ := s.claims.lookup(down, key).snapshot()
 	_, su := iu.snapshot()
 	_, sd := id.snapshot()
+	// The sequential arm's trial streams, in claims order: linkItems
+	// interleaves keep/drop Bernoulli trials with matched link deltas
+	// (one mixed slice serves both the loss and the delay detector —
+	// each skips the other's kinds); fabItems is the mirror-direction
+	// trial stream over the downstream HOP's claims.
+	var linkItems, fabItems []seqdetect.Evidence
 	var missingDown, missingUp []receipt.Inconsistency
 	for _, pid := range cuUniq {
 		tu := su[pid]
@@ -88,11 +100,20 @@ func (s *epochScope) epochLinkCheck(key packet.PathKey, linkID int, up, down rec
 					Detail: fmt.Sprintf("delivered by %v, unreported by %v",
 						up, down),
 				})
+				if s.seq != nil {
+					linkItems = append(linkItems, seqdetect.Evidence{Kind: seqdetect.KindDrop})
+				}
 			}
 			continue
 		}
 		lv.MatchedSamples++
-		if delta := td - tu; delta > maxDiff {
+		delta := td - tu
+		if s.seq != nil {
+			linkItems = append(linkItems,
+				seqdetect.Evidence{Kind: seqdetect.KindKeep},
+				seqdetect.Evidence{Kind: seqdetect.KindDelta, Value: float64(delta)})
+		}
+		if delta > maxDiff {
 			lv.Violations = append(lv.Violations, receipt.Inconsistency{
 				Kind:   receipt.DelayBound,
 				PktID:  pid,
@@ -109,8 +130,19 @@ func (s *epochScope) epochLinkCheck(key packet.PathKey, linkID int, up, down rec
 					Detail: fmt.Sprintf("reported received by %v, never reported delivered by %v",
 						down, up),
 				})
+				if s.seq != nil {
+					fabItems = append(fabItems, seqdetect.Evidence{Kind: seqdetect.KindDrop})
+				}
 			}
+		} else if s.seq != nil {
+			fabItems = append(fabItems, seqdetect.Evidence{Kind: seqdetect.KindKeep})
 		}
+	}
+	if s.seq != nil {
+		sc := seqLinkScope(key, up, down)
+		s.seq.add(sc, seqdetect.ClassLoss, linkItems)
+		s.seq.add(sc, seqdetect.ClassDelay, linkItems)
+		s.seq.add(sc, seqdetect.ClassFabricate, fabItems)
 	}
 	lv.MissingDown, lv.MissingUp = len(missingDown), len(missingUp)
 	// Symmetric §5.3 reorder noise at epoch granularity, absorbed by
@@ -196,10 +228,25 @@ func (s *epochScope) epochDomainReport(key packet.PathKey, seg Segment, qs []flo
 	_, si := v.indexFor(seg.Up).snapshot()
 	_, se := v.indexFor(seg.Down).snapshot()
 	var delays []float64
+	var biasItems []seqdetect.Evidence
+	// Without MarkerThreshold the marker/σ-sample split is unknown and
+	// no sequential bias stream is collected — the same precondition
+	// the batch CheckMarkerBias has.
+	collectBias := s.seq != nil && v.cfg.MarkerThreshold != 0
 	for _, pid := range cdUniq {
 		if ti, ok := si[pid]; ok {
-			delays = append(delays, float64(se[pid]-ti))
+			d := float64(se[pid] - ti)
+			delays = append(delays, d)
+			if collectBias {
+				biasItems = append(biasItems, seqdetect.Evidence{
+					Kind:  seqMarkerKind(pid, v.cfg.MarkerThreshold),
+					Value: d,
+				})
+			}
 		}
+	}
+	if collectBias {
+		s.seq.add(seqDomainScope(key, seg), seqdetect.ClassBias, biasItems)
 	}
 	rep.DelaySamples = len(delays)
 	if len(delays) > 0 {

@@ -9,6 +9,7 @@ import (
 	"vpm/internal/packet"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
+	"vpm/internal/seqdetect"
 	"vpm/internal/stats"
 )
 
@@ -128,6 +129,14 @@ type VerifierConfig struct {
 	// default: the check needs MarkerThreshold and enough samples per
 	// epoch to judge.
 	BiasChecks bool
+	// Sequential, when non-nil, arms the concurrent SPRT arm of
+	// rolling verification: every per-epoch link and domain check also
+	// feeds its per-packet evidence to the seqdetect engine, which may
+	// cross a detection threshold mid-epoch — epochs before the batch
+	// checks accumulate enough per-epoch weight. Sequential verdicts
+	// ride on EpochReport.Seq; the batch verdicts are untouched and
+	// their persisted encodings stay byte-identical to an unarmed run.
+	Sequential *seqdetect.Config
 }
 
 // Verifier is a receipt collector for one HOP path: it ingests

@@ -10,6 +10,7 @@ import (
 	"vpm/internal/packet"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
+	"vpm/internal/seqdetect"
 )
 
 // ErrEvictedEpoch reports receipts arriving for an epoch the window
@@ -519,6 +520,11 @@ type EpochKeyReport struct {
 type EpochReport struct {
 	Epoch EpochID
 	Keys  []EpochKeyReport
+	// Seq holds the sequential verdicts that crossed during this epoch
+	// when the SPRT arm is on (VerifierConfig.Sequential). Omitted from
+	// the canonical encoding when empty, so an unarmed run's persisted
+	// verdict bytes are identical to before the arm existed.
+	Seq []seqdetect.SeqVerdict `json:"Seq,omitempty"`
 }
 
 // Violations counts the consistency violations across all keys and
@@ -563,6 +569,10 @@ type RollingVerifier struct {
 	// verifies once per route. Keys absent from the map fall back to
 	// the constructor layout.
 	keyLayouts map[packet.PathKey][]Layout
+	// seq is the sequential-detection engine of the SPRT arm, nil when
+	// VerifierConfig.Sequential is unset. Only the verification
+	// goroutine touches it (see feedSequential).
+	seq *seqdetect.Engine
 }
 
 // SetKeyLayouts installs per-key route layouts for mesh verification
@@ -595,7 +605,11 @@ func NewRollingVerifier(layout Layout, cfg VerifierConfig, win *WindowedStore, q
 	if confidence == 0 {
 		confidence = 0.95
 	}
-	return &RollingVerifier{layout: layout, cfg: cfg, win: win, quantiles: quantiles, confidence: confidence}
+	rv := &RollingVerifier{layout: layout, cfg: cfg, win: win, quantiles: quantiles, confidence: confidence}
+	if cfg.Sequential != nil {
+		rv.seq = seqdetect.NewEngine(*cfg.Sequential)
+	}
+	return rv
 }
 
 // VerifyEpoch verifies one sealed epoch and marks it verified: every
@@ -616,6 +630,9 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 	}
 	keys := claims.Keys()
 	if len(keys) == 0 {
+		// An empty epoch still closes the sequential engine's epoch so
+		// detection latency counts calendar epochs, not traffic epochs.
+		rep.Seq = rv.feedSequential(epoch, nil)
 		if err := rv.win.persistReport(rep); err != nil {
 			return rep, err
 		}
@@ -656,6 +673,16 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 	}
 	rep.Keys = make([]EpochKeyReport, len(work))
 	errs := make([]error, len(work))
+	var seqCols []*seqCollector
+	if rv.seq != nil {
+		// One private collector per work item: the parallel sweep
+		// captures evidence lock-free, the serial feed below replays it
+		// in work order so the engine sees one deterministic stream.
+		seqCols = make([]*seqCollector, len(work))
+		for i := range seqCols {
+			seqCols[i] = &seqCollector{}
+		}
+	}
 	runParallel(resolveWorkers(rv.cfg.Workers), len(work), func(i int) {
 		key, layout := work[i].key, work[i].layout
 		v := NewVerifierOn(layout, view, key)
@@ -667,6 +694,9 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 			// the stream start exactly when epoch ≤ 1.
 			headComplete: epoch <= 1,
 			tailComplete: rv.win.tailComplete(epoch),
+		}
+		if seqCols != nil {
+			scope.seq = seqCols[i]
 		}
 		kr := EpochKeyReport{Key: key, Route: work[i].route}
 		for li, l := range layout.Links() {
@@ -702,6 +732,9 @@ func (rv *RollingVerifier) VerifyEpoch(epoch EpochID) (EpochReport, error) {
 		if err != nil {
 			return rep, err
 		}
+	}
+	if rv.seq != nil {
+		rep.Seq = rv.feedSequential(epoch, seqCols)
 	}
 	// The verdict goes durable before the RAM window forgets the epoch
 	// needs judging — a crash between the two re-verifies, never skips.

@@ -65,6 +65,25 @@ func runToCompletion(t *testing.T, bin, dir string, extra ...string) (string, st
 	return stdout.String(), stderr.String()
 }
 
+// waitForManifest polls until the node's first durable seal commits a
+// MANIFEST into dir. Readiness polling instead of a fixed sleep: the
+// child's startup cost (binary load, store creation, first epoch) is
+// wildly variable under -race on a loaded CI machine, and a wall-clock
+// wait either flakes or overshoots.
+func waitForManifest(t *testing.T, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no MANIFEST committed within 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // manifestLastSealed reads the killed process's MANIFEST directly —
 // without opening the store, so the surviving bytes stay exactly as the
 // crash left them — and returns the last durably sealed epoch.
@@ -137,13 +156,30 @@ func TestKill9RecoveryMatchesUninterruptedRun(t *testing.T) {
 			dir := filepath.Join(t.TempDir(), "data")
 
 			// Paced run: one epoch per 100ms of wall clock, so the kill
-			// delay below lands mid-run, usually mid-epoch.
+			// delay below lands mid-run, usually mid-epoch. The random
+			// delay is the point of the sweep — each round crashes at a
+			// different phase of the epoch cycle, sometimes before the
+			// first durable seal — but it is anchored to the node having
+			// booted (its data dir existing) rather than to cmd.Start, so
+			// a slow binary launch under -race cannot silently turn every
+			// round into a kill-before-boot no-op.
 			cmd, _, stderr := nodeCmd(bin, dir, "-pace")
 			if err := cmd.Start(); err != nil {
 				t.Fatal(err)
 			}
-			delay := 150*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
-			t.Logf("killing after %v", delay)
+			booted := time.Now().Add(30 * time.Second)
+			for {
+				if _, err := os.Stat(dir); err == nil {
+					break
+				}
+				if time.Now().After(booted) {
+					cmd.Process.Kill()
+					t.Fatal("node never created its data dir within 30s")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			delay := time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
+			t.Logf("killing %v after boot", delay)
 			time.Sleep(delay)
 			if err := cmd.Process.Kill(); err != nil { // SIGKILL: no handler runs
 				t.Fatal(err)
@@ -228,12 +264,16 @@ func TestServeOnlyServesRecoveredVerdicts(t *testing.T) {
 	bin := buildVPMNode(t)
 	dir := filepath.Join(t.TempDir(), "data")
 
-	// A paced run killed mid-flight, then a recovering completion.
+	// A paced run killed mid-flight, then a recovering completion. The
+	// kill waits for the first durable seal (the MANIFEST landing on
+	// disk) rather than a wall-clock delay, so the serve-only phase is
+	// guaranteed recovered verdicts to serve even on a machine where
+	// startup is slow.
 	cmd, _, _ := nodeCmd(bin, dir, "-pace")
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(350 * time.Millisecond)
+	waitForManifest(t, dir)
 	cmd.Process.Kill()
 	cmd.Wait()
 	runToCompletion(t, bin, dir)

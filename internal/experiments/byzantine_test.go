@@ -56,7 +56,7 @@ func TestAttackMatrix(t *testing.T) {
 	}
 	// Every scenario must run in both modes unless it explicitly
 	// restricted itself.
-	for _, sc := range matrixScenarios() {
+	for _, sc := range matrixScenarios(matrixTestConfig()) {
 		for _, mode := range []string{"batch", "continuous"} {
 			if sc.runsIn(mode) && !modes[sc.name][mode] {
 				t.Errorf("scenario %s missing its %s row", sc.name, mode)

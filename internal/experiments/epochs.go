@@ -14,6 +14,7 @@ import (
 	"vpm/internal/netsim"
 	"vpm/internal/quantile"
 	"vpm/internal/receipt"
+	"vpm/internal/seqdetect"
 	"vpm/internal/trace"
 )
 
@@ -156,6 +157,11 @@ type ContinuousOptions struct {
 	// BiasChecks enables the per-epoch marker-bias check in rolling
 	// verification.
 	BiasChecks bool
+	// Sequential, when non-nil, arms the rolling verifier's concurrent
+	// SPRT arm (see core.VerifierConfig.Sequential): early sequential
+	// verdicts ride on each EpochReport's Seq field while the batch
+	// verdicts stay byte-identical to an unarmed run.
+	Sequential *seqdetect.Config
 	// Backend attaches a durable store backend beneath the windowed
 	// store (see core.StoreBackend): sealed epochs and verdict reports
 	// persist to it, and epochs already durable from a previous run are
@@ -272,6 +278,7 @@ func RunContinuousOpts(cfg Config, ec core.EpochConfig, epochs int, opts Continu
 	vc := dep.VerifierConfig()
 	vc.Workers = ec.Workers
 	vc.BiasChecks = opts.BiasChecks
+	vc.Sequential = opts.Sequential
 	rolling := core.NewRollingVerifier(layout, vc, win, quantile.DefaultQuantiles, cfg.Confidence)
 
 	// Verification pipeline: woken after each segment, it drains the

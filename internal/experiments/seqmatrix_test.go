@@ -1,0 +1,124 @@
+package experiments
+
+import "testing"
+
+// seqLatencyBounds are the checked-in detection-latency regression
+// gates: for every continuous-mode row the sequential arm is expected
+// to detect, the measured SeqEpochsToVerdict (fractional epochs) must
+// stay at or under the bound. The bounds carry headroom over the
+// measured values (e.g. delay-underreport crosses at ~0.07 epochs,
+// prefer-markers at ~0.73) so benign jitter passes while a real
+// regression — a detector that stopped crossing, or got epochs
+// slower — fails loudly.
+var seqLatencyBounds = map[string]float64{
+	"prefer-markers":      1.5,
+	"delay-underreport":   0.5,
+	"suppress-ingress":    0.5,
+	"marker-shave":        1.0,
+	"adaptive-shave":      0.5,
+	"adaptive-shave-duty": 0.5,
+	"adaptive-suppress":   0.5,
+	"drop-records":        0.5,
+	"fabricate":           0.5,
+}
+
+// seqQuietRows are the continuous rows the sequential arm must stay
+// silent on: the honest baseline and the harmless probe (a sequential
+// verdict there is a false positive), the contained collusion (blame
+// would break the §3.1 containment contract), and the dissemination
+// attacks — withheld or replayed bundles leave no packet-evidence
+// stream, so a sequential verdict could only be a misattribution.
+var seqQuietRows = []string{"honest", "bias-blind", "collude", "withhold", "stale-replay"}
+
+// TestAttackMatrixSequential is the sequential arm's acceptance gate
+// over the adversary matrix:
+//
+//   - agreement: every continuous packet-evidence row the batch checks
+//     detect, the SPRT also detects — and no later (the sequential
+//     crossing is mid-epoch; the batch verdict waits for the epoch to
+//     seal);
+//   - latency regression: each expected detection stays under its
+//     checked-in epochs-to-verdict bound;
+//   - adaptivity: at least one adaptive adversary is caught at a
+//     fractional epochs-to-verdict below 1.0 — before the first batch
+//     judgment was even possible;
+//   - silence: quiet rows stay quiet (no sequential false positives).
+func TestAttackMatrixSequential(t *testing.T) {
+	rows, err := testMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := map[string]MatrixRow{}
+	for _, r := range rows {
+		if r.Mode == "continuous" {
+			cont[r.Adversary] = r
+		}
+	}
+
+	for name, bound := range seqLatencyBounds {
+		r, ok := cont[name]
+		if !ok {
+			t.Errorf("%s: expected continuous row missing from the matrix", name)
+			continue
+		}
+		if !r.SeqDetected {
+			t.Errorf("%s: sequential arm regressed to undetected", name)
+			continue
+		}
+		if r.SeqEpochsToVerdict > bound {
+			t.Errorf("%s: sequential detection at %.3f epochs exceeds the checked-in bound %.2f",
+				name, r.SeqEpochsToVerdict, bound)
+		}
+	}
+
+	// SPRT-vs-batch agreement on the rows that carry a packet-evidence
+	// stream (dissemination attacks starve the stream instead of lying
+	// in it; the matrix judges them by their missing seals).
+	subBatch := 0
+	for name, r := range cont {
+		if r.Layer == "dissemination" || r.Layer == "none" {
+			continue
+		}
+		if r.BatchEpochsToVerdict > 0 {
+			if !r.SeqDetected {
+				t.Errorf("%s: batch-detected (%.1f epochs) but the sequential arm never crossed",
+					name, r.BatchEpochsToVerdict)
+			} else if r.SeqEpochsToVerdict > r.BatchEpochsToVerdict {
+				t.Errorf("%s: sequential detection at %.3f epochs is later than batch at %.1f",
+					name, r.SeqEpochsToVerdict, r.BatchEpochsToVerdict)
+			}
+		}
+		if r.SeqDetected && r.BatchEpochsToVerdict == 0 {
+			subBatch++
+			t.Logf("%s: sub-batch-threshold attack caught only by the sequential arm (%.3f epochs)",
+				name, r.SeqEpochsToVerdict)
+		}
+	}
+	// The tentpole row: the duty-cycled sub-MaxDiff shave never trips
+	// a batch check, so at least one detection must be sequential-only.
+	if subBatch == 0 {
+		t.Error("no row demonstrates a sequential-only detection (every detected attack also tripped batch)")
+	}
+
+	fracBelowOne := 0
+	for _, name := range []string{"adaptive-shave", "adaptive-shave-duty", "adaptive-suppress"} {
+		if r := cont[name]; r.SeqDetected && r.SeqEpochsToVerdict < 1.0 {
+			fracBelowOne++
+		}
+	}
+	if fracBelowOne == 0 {
+		t.Error("no adaptive row crossed at a fractional epochs-to-verdict below 1.0")
+	}
+
+	for _, name := range seqQuietRows {
+		r, ok := cont[name]
+		if !ok {
+			t.Errorf("%s: expected continuous row missing from the matrix", name)
+			continue
+		}
+		if r.SeqDetected {
+			t.Errorf("%s: sequential arm fired on a row it must stay silent on (%.3f epochs)",
+				name, r.SeqEpochsToVerdict)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package seqdetect
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzVerdict is a representative verdict for seeding.
+func fuzzVerdict() SeqVerdict {
+	return SeqVerdict{
+		Class:      ClassLoss,
+		Up:         3,
+		Down:       4,
+		Key:        "10.1.0.0/16->172.16.0.0/16",
+		Epoch:      7,
+		Frac:       0.375,
+		N:          12345,
+		Stat:       7.25,
+		Alpha:      1e-3,
+		Beta:       1e-2,
+		Trajectory: []float64{-1.5, 0.25, 7.25},
+	}
+}
+
+// FuzzSeqVerdictDecode: DecodeVerdict must be total — any byte string
+// either parses into exactly one verdict whose re-encoding reproduces
+// the input byte-for-byte, or returns an error wrapping
+// ErrCorruptVerdict. It must never panic, whatever the length fields
+// claim.
+func FuzzSeqVerdictDecode(f *testing.F) {
+	f.Add(fuzzVerdict().AppendBinary(nil))
+	bias := SeqVerdict{Class: ClassBias, Up: 5, Down: 6, Domain: "X",
+		Epoch: 1, Frac: 1, N: 9, Stat: 6.9, Alpha: 1e-2, Beta: 1e-1}
+	f.Add(bias.AppendBinary(nil))
+	f.Add(SeqVerdict{Class: ClassDelay, Epoch: 0, Frac: 0.01}.AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'Q'})
+	f.Add([]byte{'S', 'Q', verdictVersion, 9})
+	trunc := fuzzVerdict().AppendBinary(nil)
+	f.Add(trunc[:len(trunc)-5])
+	// Hostile trajectory length backed by nothing.
+	hostile := fuzzVerdict()
+	hostile.Trajectory = nil
+	h := hostile.AppendBinary(nil)
+	h[len(h)-2], h[len(h)-1] = 0xff, 0xff
+	f.Add(h)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeVerdict(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptVerdict) {
+				t.Fatalf("untyped decode error %v (%T)", err, err)
+			}
+			return
+		}
+		re := v.AppendBinary(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encoding differs from input:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	cases := []SeqVerdict{
+		fuzzVerdict(),
+		{},
+		{Class: ClassBias, Domain: "domain-X", Epoch: math.MaxUint64,
+			Frac: 1, N: math.MaxUint64, Stat: math.Inf(1), Alpha: 1e-9, Beta: 0.5},
+	}
+	for i, v := range cases {
+		enc := v.AppendBinary(nil)
+		got, err := DecodeVerdict(enc)
+		if err != nil {
+			// The zero verdict has Class 0, which is not a valid wire
+			// class — it must decode to a typed error, not silently.
+			if v.Class == 0 && errors.Is(err, ErrCorruptVerdict) {
+				continue
+			}
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		re := got.AppendBinary(nil)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("case %d: encode→decode→encode not byte-identical", i)
+		}
+	}
+}
+
+func TestVerdictDecodeRejectsTrailing(t *testing.T) {
+	enc := append(fuzzVerdict().AppendBinary(nil), 0)
+	if _, err := DecodeVerdict(enc); !errors.Is(err, ErrCorruptVerdict) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}

@@ -1,0 +1,289 @@
+package seqdetect
+
+import (
+	"fmt"
+	"testing"
+
+	"vpm/internal/stats"
+)
+
+// The Monte-Carlo guarantee harness: for each detector family at three
+// (α, β) operating points, run M independent seeded simulations over a
+// fixed evidence horizon and check the empirical error rates against
+// the configured bounds within Wilson-interval slack.
+//
+// Each family is tested against the guarantee it actually provides:
+//
+//   - SPRT variants (repeated test with a reflecting floor): Wald's
+//     bounds hold PER TEST CYCLE. FP: honest stream to the first
+//     terminal decision, P(Detected) ≤ α. FN: design-magnitude lying
+//     stream to the first decision, P(Cleared) ≤ β.
+//   - Bayes variants (always-valid, never restarted): Ville's
+//     inequality holds at EVERY horizon. FP: honest stream over a
+//     fixed horizon, P(fires anywhere) ≤ α. FN: design-magnitude
+//     stream, P(not fired by the horizon) ≤ β.
+//
+// The check is one-sided: the Wilson 95% lower bound of the observed
+// rate must not exceed the configured bound — if even the interval's
+// low edge is above α (resp. β), the guarantee is empirically broken,
+// not just unlucky.
+
+type opPoint struct {
+	alpha, beta float64
+	sims        int
+}
+
+// Three operating points; simulation counts scale with the bound so
+// the Wilson interval has resolving power at each point.
+var opPoints = []opPoint{
+	{alpha: 1e-2, beta: 1e-2, sims: 3000},
+	{alpha: 1e-3, beta: 1e-2, sims: 8000},
+	{alpha: 1e-2, beta: 1e-1, sims: 3000},
+}
+
+// horizon is the per-sim evidence budget of the always-valid framing:
+// the order of items one detector sees across a multi-epoch run.
+const horizon = 10_000
+
+// decisionCap bounds a first-decision sim; SPRT cycles at these
+// operating points decide within hundreds of items.
+const decisionCap = 1_000_000
+
+// decider is one simulated detector run: step() advances one evidence
+// item and returns the test state.
+type decider func() State
+
+// firstDecision drives one sim to its first terminal state (SPRT
+// cycle framing).
+func firstDecision(t *testing.T, step decider) State {
+	t.Helper()
+	for i := 0; i < decisionCap; i++ {
+		switch st := step(); st {
+		case Detected, Cleared:
+			return st
+		}
+	}
+	t.Fatal("sequential test reached no decision within the step cap")
+	return Undecided
+}
+
+// detectedWithin drives one sim for the horizon and reports whether
+// the detector ever fired (always-valid framing).
+func detectedWithin(step decider) bool {
+	for i := 0; i < horizon; i++ {
+		if step() == Detected {
+			return true
+		}
+	}
+	return false
+}
+
+// assertRate checks the empirical k/n error rate against bound within
+// Wilson slack.
+func assertRate(t *testing.T, what string, k, n int, bound float64) {
+	t.Helper()
+	lo, _ := stats.WilsonInterval(k, n, 0.95)
+	if lo > bound {
+		t.Errorf("%s: empirical rate %d/%d = %.5f (Wilson lo %.5f) exceeds bound %.5f",
+			what, k, n, float64(k)/float64(n), lo, bound)
+	}
+}
+
+// guaranteeCase builds honest and lying single-detector sims for one
+// detector family at one operating point. alwaysValid selects the
+// horizon framing (Bayes) over the Wald-cycle framing (SPRT).
+type guaranteeCase struct {
+	name        string
+	alwaysValid bool
+	honest      func(op opPoint, rng *stats.RNG) decider
+	lying       func(op opPoint, rng *stats.RNG) decider
+}
+
+const (
+	gLossP0  = 0.01
+	gLossP1  = 0.05
+	gRef     = 1_050_000.0
+	gShift   = 150_000.0
+	gSigma   = 30_000.0
+	gBiasSig = 2.0
+)
+
+func guaranteeCases() []guaranteeCase {
+	bern := func(p float64, mk func(op opPoint) binTest) func(opPoint, *stats.RNG) decider {
+		return func(op opPoint, rng *stats.RNG) decider {
+			d := mk(op)
+			return func() State { return d.Observe(rng.Bool(p)) }
+		}
+	}
+	gauss := func(mean float64, mk func(op opPoint) meanTest) func(opPoint, *stats.RNG) decider {
+		return func(op opPoint, rng *stats.RNG) decider {
+			d := mk(op)
+			return func() State { return d.Observe(mean + gSigma*rng.NormFloat64()) }
+		}
+	}
+	mkBernSPRT := func(op opPoint) binTest { return NewBernoulliSPRT(op.alpha, op.beta, gLossP0, gLossP1) }
+	mkBernBayes := func(op opPoint) binTest { return NewBernoulliBayes(op.alpha, op.beta, gLossP0, gLossP1) }
+	mkGaussSPRT := func(op opPoint) meanTest { return NewGaussianSPRT(op.alpha, op.beta, gRef, gShift, gSigma) }
+	mkGaussBayes := func(op opPoint) meanTest { return NewGaussianBayes(op.alpha, op.beta, gRef, gShift, gSigma) }
+
+	bias := func(markerShift float64) func(opPoint, *stats.RNG) decider {
+		return func(op opPoint, rng *stats.RNG) decider {
+			d := NewBiasDetector(Config{
+				Alpha: op.alpha, Beta: op.beta,
+				BiasShiftSigma: gBiasSig, BiasMinRef: 16,
+			}.withDefaults())
+			i := 0
+			return func() State {
+				// Interleave 3 σ-sample reference delays per marker,
+				// like the ~25% marker share of the simulator.
+				for j := 0; j < 3; j++ {
+					d.ObserveRef(gRef + gSigma*rng.NormFloat64())
+				}
+				i++
+				return d.ObserveMarker(gRef + markerShift*gSigma + gSigma*rng.NormFloat64())
+			}
+		}
+	}
+
+	return []guaranteeCase{
+		{
+			name:   "bernoulli-sprt",
+			honest: bern(gLossP0, mkBernSPRT),
+			lying:  bern(gLossP1, mkBernSPRT),
+		},
+		{
+			name:        "bernoulli-bayes",
+			alwaysValid: true,
+			honest:      bern(gLossP0, mkBernBayes),
+			lying:       bern(gLossP1, mkBernBayes),
+		},
+		{
+			name:   "gaussian-sprt",
+			honest: gauss(gRef, mkGaussSPRT),
+			lying:  gauss(gRef+gShift, mkGaussSPRT),
+		},
+		{
+			name:        "gaussian-bayes",
+			alwaysValid: true,
+			honest:      gauss(gRef, mkGaussBayes),
+			lying:       gauss(gRef+gShift, mkGaussBayes),
+		},
+		{
+			name:   "bias",
+			honest: bias(0),
+			lying:  bias(-gBiasSig),
+		},
+	}
+}
+
+// TestGuaranteeFalsePositiveRate: honest streams, empirical
+// P(detector fires within the horizon) ≤ α within Wilson slack, for
+// every detector at every operating point. Seeded and deterministic.
+func TestGuaranteeFalsePositiveRate(t *testing.T) {
+	for pi, op := range opPoints {
+		for ci, gc := range guaranteeCases() {
+			t.Run(fmt.Sprintf("%s/alpha=%g,beta=%g", gc.name, op.alpha, op.beta), func(t *testing.T) {
+				rng := stats.NewRNG(0xF0 ^ uint64(pi*31+ci))
+				sims := op.sims
+				if gc.alwaysValid && sims > 4000 {
+					sims = 4000 // horizon sims are ~100× longer than cycles
+				}
+				detected := 0
+				for s := 0; s < sims; s++ {
+					sim := gc.honest(op, rng.Split())
+					if gc.alwaysValid {
+						if detectedWithin(sim) {
+							detected++
+						}
+					} else if firstDecision(t, sim) == Detected {
+						detected++
+					}
+				}
+				assertRate(t, "false-positive", detected, sims, op.alpha)
+			})
+		}
+	}
+}
+
+// TestGuaranteeFalseNegativeRate: design-magnitude lying streams,
+// empirical P(no detection within the horizon) ≤ β within Wilson
+// slack.
+func TestGuaranteeFalseNegativeRate(t *testing.T) {
+	for pi, op := range opPoints {
+		for ci, gc := range guaranteeCases() {
+			t.Run(fmt.Sprintf("%s/alpha=%g,beta=%g", gc.name, op.alpha, op.beta), func(t *testing.T) {
+				rng := stats.NewRNG(0xF4 ^ uint64(pi*37+ci))
+				missed := 0
+				for s := 0; s < op.sims; s++ {
+					sim := gc.lying(op, rng.Split())
+					if gc.alwaysValid {
+						if !detectedWithin(sim) {
+							missed++
+						}
+					} else if firstDecision(t, sim) == Cleared {
+						missed++
+					}
+				}
+				assertRate(t, "false-negative", missed, op.sims, op.beta)
+			})
+		}
+	}
+}
+
+// TestGuaranteeEngineHonestRun drives whole Engines over honest
+// multi-epoch evidence and bounds the run-level false-positive rate:
+// the reflecting floor keeps a long honest run's total FP mass at
+// ~α (first cycle) + negligible recycled excursions, so across M
+// seeded engine runs the fraction with ANY verdict must stay within
+// Wilson slack of α.
+func TestGuaranteeEngineHonestRun(t *testing.T) {
+	const (
+		runs       = 600
+		epochs     = 8
+		perEpoch   = 2000
+		markersPer = 120
+	)
+	cfg := Config{} // defaults: alpha 1e-3, beta 1e-2
+	alpha := cfg.withDefaults().Alpha
+	rng := stats.NewRNG(0xE17)
+	flagged := 0
+	for r := 0; r < runs; r++ {
+		rr := rng.Split()
+		e := NewEngine(cfg)
+		link := Scope{Key: "a->b", Up: 1, Down: 2}
+		dom := Scope{Domain: "X", Up: 2, Down: 3}
+		any := false
+		for ep := uint64(0); ep < epochs; ep++ {
+			loss := make([]Evidence, perEpoch)
+			for i := range loss {
+				if rr.Bool(gLossP0) {
+					loss[i] = Evidence{Kind: KindDrop}
+				} else {
+					loss[i] = Evidence{Kind: KindKeep}
+				}
+			}
+			e.Observe(link, ClassLoss, loss)
+			deltas := make([]Evidence, perEpoch/2)
+			for i := range deltas {
+				deltas[i] = Evidence{Kind: KindDelta, Value: gRef + gSigma*rr.NormFloat64()}
+			}
+			e.Observe(link, ClassDelay, deltas)
+			biasItems := make([]Evidence, 0, 4*markersPer)
+			for i := 0; i < markersPer; i++ {
+				for j := 0; j < 3; j++ {
+					biasItems = append(biasItems, Evidence{Kind: KindOtherDelta, Value: gRef + gSigma*rr.NormFloat64()})
+				}
+				biasItems = append(biasItems, Evidence{Kind: KindMarkerDelta, Value: gRef + gSigma*rr.NormFloat64()})
+			}
+			e.Observe(dom, ClassBias, biasItems)
+			if len(e.EndEpoch(ep)) > 0 {
+				any = true
+			}
+		}
+		if any {
+			flagged++
+		}
+	}
+	// Three detectors per run; allow the union bound.
+	assertRate(t, "engine honest-run false-positive", flagged, runs, 3*alpha)
+}
