@@ -1,0 +1,153 @@
+// Command vpm-lint runs the repository's verifiability analyzers — a
+// multichecker in the mold of go vet, built on internal/analysis so it
+// needs nothing outside the standard library. It type-checks the
+// named packages (tests included) and applies every registered pass:
+//
+//	determinism     map order / wall clock / global RNG leaks in
+//	                replay-deterministic packages
+//	hotpath         allocation idioms reachable from //vpm:hotpath
+//	fsyncdiscipline segstore's write-temp → fsync → rename → fsync-dir
+//	                commit sequence
+//	errwrap         errors.Is/As discipline for typed sentinels
+//
+// Usage:
+//
+//	go tool vpm-lint [flags] [./...]
+//
+// Exit status: 0 when the tree is clean (suppressed findings with
+// justified //lint:ignore directives do not fail the run), 1 when any
+// live finding is reported, 2 on load/usage errors. Each finding
+// prints position, analyzer, message and a fix hint:
+//
+//	store.go:507:12: [fsyncdiscipline] Rename without a preceding
+//	file Sync: ... (fix: commit via write-temp → Sync → Rename → SyncDir)
+//
+// CI runs vpm-lint as the blocking lint job and uploads its -sarif
+// output so findings annotate pull requests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vpm/internal/analysis"
+	"vpm/internal/analysis/loader"
+	"vpm/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status, for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vpm-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
+		sarifPath = fs.String("sarif", "", "write findings as SARIF 2.1.0 to `file`")
+		list      = fs.Bool("list", false, "list registered analyzers and exit")
+		noTests   = fs.Bool("notests", false, "skip _test.go files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "vpm-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(&loader.Config{Dir: root, ModulePath: modPath, Tests: !*noTests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "vpm-lint:", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "vpm-lint:", err)
+		return 2
+	}
+
+	if *sarifPath != "" {
+		data, err := analysis.EncodeSARIF(findings, analyzers, root)
+		if err != nil {
+			fmt.Fprintln(stderr, "vpm-lint: sarif:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifPath, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "vpm-lint: sarif:", err)
+			return 2
+		}
+	}
+
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "vpm-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			fmt.Fprintln(stdout, rel.String())
+		}
+		fmt.Fprintf(stdout, "vpm-lint: %d packages, %d findings (%d suppressed)\n",
+			len(pkgs), live, len(findings)-live)
+	}
+	if live > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to go.mod and
+// returns the module root and path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean is the self-check CI's lint job enforces: running
+// every registered analyzer over the whole module must produce zero
+// live findings. Suppressions need a justified //lint:ignore, which
+// keeps the waiver trail reviewable in the diff.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module including stdlib deps")
+	}
+	chdirRepoRoot(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("vpm-lint exit %d on the tree\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 findings") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestSeededViolationFails drives the binary over a fixture tree and
+// pins the contract the CI job depends on: live findings exit 1 and
+// print position plus fix hint, and the SARIF artifact carries them.
+func TestSeededViolationFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a scratch module against the stdlib")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "core", "core.go"), `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	t.Chdir(dir)
+
+	sarif := filepath.Join(dir, "findings.sarif")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-sarif", sarif, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for a live finding\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"core/core.go:5:",
+		"[determinism]",
+		"time.Now",
+		"fix: take timestamps from the observation stream",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("sarif artifact: %v", err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sarif is not valid JSON: %v", err)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("sarif has no results: %s", data)
+	}
+	r := doc.Runs[0].Results[0]
+	if r.RuleID != "determinism" || r.Level != "error" {
+		t.Errorf("sarif result = %+v, want determinism/error", r)
+	}
+}
+
+// TestListFlag pins the -list output the README quickstart shows.
+func TestListFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "hotpath", "fsyncdiscipline", "errwrap"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			t.Chdir(dir)
+			return
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test binary")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,6 +111,7 @@ func TestBootErrorWrapsStoreErrors(t *testing.T) {
 	if !errors.Is(err, segstore.ErrCorruptManifest) {
 		t.Fatal("BootError does not unwrap to its cause")
 	}
+	//lint:ignore errwrap the boot prefix in the operator-facing message is itself the contract under test
 	if !strings.Contains(err.Error(), "durable store boot failure") {
 		t.Fatalf("BootError message %q lacks the boot prefix", err.Error())
 	}

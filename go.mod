@@ -1,3 +1,5 @@
 module vpm
 
 go 1.24
+
+tool vpm/cmd/vpm-lint

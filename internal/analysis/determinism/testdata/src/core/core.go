@@ -1,0 +1,112 @@
+// Package core is a determinism fixture: it reuses the scoped package
+// name so the analyzer treats it as replay-deterministic code.
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadAppend leaks map order into a slice that is never sorted.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out inside a map range leaks map iteration order`
+	}
+	return out
+}
+
+// GoodAppendSorted collects then sorts — the blessed idiom.
+func GoodAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoodAppendHelperSort clears the candidate through a helper whose
+// name marks it as a sorter (the repository's sortReceipts pattern).
+func GoodAppendHelperSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+// BadEncode writes during iteration — order already escaped.
+func BadEncode(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `WriteString called inside a map range: output records map iteration order`
+	}
+}
+
+// BadSend exposes iteration order to a channel receiver.
+func BadSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range: receivers observe map iteration order`
+	}
+}
+
+// GoodLoopLocal appends to a slice declared inside the loop body;
+// per-iteration state carries no cross-key order.
+func GoodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// GoodMapCopy writes through a map key while ranging — keyed writes
+// are order-independent, so the deep-copy idiom is allowed.
+func GoodMapCopy(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// GoodSliceRange ranges a slice, not a map.
+func GoodSliceRange(s []string, buf *bytes.Buffer) {
+	for _, v := range s {
+		buf.WriteString(v)
+	}
+}
+
+// BadClock reads the wall clock in replay-deterministic code.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a replay-deterministic package`
+}
+
+// BadGlobalRand draws from the process-global RNG.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in a replay-deterministic package`
+}
+
+// GoodSeededRand threads a caller-seeded source.
+func GoodSeededRand(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// GoodNewRand constructs a seeded source — the fix, not the bug.
+func GoodNewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SuppressedClock demonstrates a justified suppression: boot-time
+// logging is outside the replayed computation.
+func SuppressedClock() int64 {
+	//lint:ignore determinism boot-time log stamp, outside the replayed computation
+	return time.Now().UnixNano()
+}

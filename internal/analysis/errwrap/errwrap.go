@@ -1,0 +1,240 @@
+// Package errwrap enforces the repository's typed-error discipline:
+// sentinel errors (segstore.ErrTornTail, core.StaleSealError,
+// dissem.GapError, seqdetect.ErrCorruptVerdict, ...) flow through
+// wrapping — fmt.Errorf("...: %w", Err) — so callers MUST match them
+// with errors.Is/errors.As. A literal ==, a message-text comparison or
+// a bare type assertion silently stops matching the moment somebody
+// adds context to the error, which is exactly how a "refuses to boot
+// on corruption" guarantee degrades into "boots anyway".
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vpm/internal/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "sentinel errors must be matched with errors.Is/As, never == or message text; " +
+		"exported functions returning a sentinel must document it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkStringsCall(pass, n)
+			case *ast.TypeAssertExpr:
+				checkAssertion(pass, n)
+			case *ast.FuncDecl:
+				checkDocumented(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinelObj resolves e to a package-level error-typed variable (a
+// sentinel), or nil.
+func sentinelObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !analysis.IsPackageLevel(obj) || !analysis.ImplementsError(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isErrorMessageCall matches x.Error() on an error-typed x.
+func isErrorMessageCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	return t != nil && analysis.ImplementsError(t)
+}
+
+// checkComparison flags ==/!= against a sentinel and against error
+// message text.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	// nil comparisons are the one legitimate direct form.
+	if isNil(pass, b.X) || isNil(pass, b.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if obj := sentinelObj(pass, side); obj != nil {
+			other := b.Y
+			if side == b.Y {
+				other = b.X
+			}
+			if t := pass.TypesInfo.TypeOf(other); t == nil || !analysis.ImplementsError(t) {
+				continue // comparing the var to something non-error (e.g. a field select)
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:     b.Pos(),
+				Message: "sentinel error " + obj.Name() + " compared with " + b.Op.String() + "; a wrapped error will not match",
+				Fix:     "use errors.Is(err, " + obj.Name() + ")",
+			})
+			return
+		}
+	}
+	if isErrorMessageCall(pass, b.X) || isErrorMessageCall(pass, b.Y) {
+		pass.Report(analysis.Diagnostic{
+			Pos:     b.Pos(),
+			Message: "error matched by message text; messages are not part of any compatibility contract",
+			Fix:     "match the sentinel with errors.Is or the type with errors.As",
+		})
+	}
+}
+
+// checkStringsCall flags strings.Contains/HasPrefix/HasSuffix over
+// err.Error().
+func checkStringsCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorMessageCall(pass, arg) {
+			pass.Report(analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "error matched by message substring; messages are not part of any compatibility contract",
+				Fix:     "match the sentinel with errors.Is or the type with errors.As",
+			})
+			return
+		}
+	}
+}
+
+// checkAssertion flags err.(*T) on an error-interface-typed operand.
+func checkAssertion(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // the expression form of a type switch; not flagged
+	}
+	t := pass.TypesInfo.TypeOf(ta.X)
+	if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:     ta.Pos(),
+		Message: "type assertion on an error; a wrapped error will not match",
+		Fix:     "use errors.As(err, &target)",
+	})
+}
+
+// checkDocumented requires exported functions that return a sentinel
+// directly to say so in their doc comment — the sentinel is API.
+func checkDocumented(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+		return
+	}
+	if fd.Recv != nil && !exportedRecv(fd) {
+		return
+	}
+	doc := ""
+	if fd.Doc != nil {
+		doc = fd.Doc.Text()
+	}
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+			return false // a closure's returns are not the function's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			obj := returnedSentinel(pass, res)
+			if obj == nil || seen[obj.Name()] {
+				continue
+			}
+			seen[obj.Name()] = true
+			if !strings.Contains(doc, obj.Name()) {
+				pass.Report(analysis.Diagnostic{
+					Pos:     fd.Name.Pos(),
+					Message: "exported " + fd.Name.Name + " returns sentinel " + obj.Name() + " but its doc comment does not mention it",
+					Fix:     "document the sentinel so callers know to errors.Is against it",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// returnedSentinel resolves a result expression that delivers a
+// sentinel to the caller: the sentinel itself, or fmt.Errorf wrapping
+// it (the %w idiom keeps it matchable, so it is still API).
+func returnedSentinel(pass *analysis.Pass, res ast.Expr) types.Object {
+	if obj := sentinelObj(pass, res); obj != nil {
+		return obj
+	}
+	call, ok := ast.Unparen(res).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if obj := sentinelObj(pass, arg); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method's receiver base type is
+// exported (unexported receivers are not API surface).
+func exportedRecv(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	id := analysis.RootIdent(fd.Recv.List[0].Type)
+	return id != nil && id.IsExported()
+}
+
+// isNil matches the untyped nil identifier.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"vpm/internal/analysis/analysistest"
+	"vpm/internal/analysis/errwrap"
+)
+
+// TestErrwrap drives the pass over the fixture: == / != against
+// sentinels, message-text matching and bare type assertions must be
+// flagged; errors.Is/As, nil comparisons, unexported functions and
+// justified suppressions must not.
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "errfix")
+}

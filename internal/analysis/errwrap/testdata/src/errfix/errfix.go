@@ -1,0 +1,100 @@
+// Package errfix is the errwrap fixture.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrTorn is a sentinel in the style of segstore.ErrTornTail.
+var ErrTorn = errors.New("errfix: torn tail")
+
+// ErrGone is a second sentinel, documented by DocumentedReturn.
+var ErrGone = errors.New("errfix: gone")
+
+// BadEqual compares a sentinel with ==.
+func BadEqual(err error) bool {
+	return err == ErrTorn // want `sentinel error ErrTorn compared with ==`
+}
+
+// BadNotEqual compares a sentinel with !=.
+func BadNotEqual(err error) bool {
+	return err != ErrTorn // want `sentinel error ErrTorn compared with !=`
+}
+
+// BadSwitchCase hides the comparison in a switch — the expression
+// desugars to the same ==.
+func BadSwitchCase(err error) bool {
+	switch {
+	case err == ErrGone: // want `sentinel error ErrGone compared with ==`
+		return true
+	}
+	return false
+}
+
+// GoodIs matches through wrapping.
+func GoodIs(err error) bool {
+	return errors.Is(err, ErrTorn)
+}
+
+// GoodNil is the one legitimate direct comparison.
+func GoodNil(err error) bool {
+	return err == nil
+}
+
+// BadMessage matches by message text.
+func BadMessage(err error) bool {
+	return err.Error() == "errfix: torn tail" // want `error matched by message text`
+}
+
+// BadContains matches by message substring.
+func BadContains(err error) bool {
+	return strings.Contains(err.Error(), "torn") // want `error matched by message substring`
+}
+
+// BadAssert type-asserts an error.
+func BadAssert(err error) bool {
+	_, ok := err.(*pathError) // want `type assertion on an error`
+	return ok
+}
+
+// GoodAs matches the type through wrapping.
+func GoodAs(err error) bool {
+	var pe *pathError
+	return errors.As(err, &pe)
+}
+
+type pathError struct{ path string }
+
+func (e *pathError) Error() string { return "path: " + e.path }
+
+// UndocumentedReturn fails without saying how.
+func UndocumentedReturn(ok bool) error { // want `exported UndocumentedReturn returns sentinel ErrTorn but its doc comment does not mention it`
+	if !ok {
+		return ErrTorn
+	}
+	return nil
+}
+
+// DocumentedReturn reports ErrGone when the value is gone.
+func DocumentedReturn(ok bool) error {
+	if !ok {
+		return fmt.Errorf("lookup: %w", ErrGone)
+	}
+	return nil
+}
+
+// undocumentedUnexported is not API; no doc requirement.
+func undocumentedUnexported(ok bool) error {
+	if !ok {
+		return ErrTorn
+	}
+	return nil
+}
+
+// SuppressedEqual demonstrates a justified identity comparison.
+func SuppressedEqual(err error) bool {
+	//lint:ignore errwrap this API contractually returns the bare sentinel, never wrapped
+	return err == ErrTorn
+}

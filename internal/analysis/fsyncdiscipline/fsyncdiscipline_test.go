@@ -1,0 +1,17 @@
+package fsyncdiscipline_test
+
+import (
+	"testing"
+
+	"vpm/internal/analysis/analysistest"
+	"vpm/internal/analysis/fsyncdiscipline"
+)
+
+// TestFsyncDiscipline drives the pass over the fixture: renames
+// missing the preceding file Sync or the following SyncDir and direct
+// os.* mutation must be flagged; the full commit sequence, the DirFS
+// implementation file, forwarding FS wrappers and justified
+// suppressions must not.
+func TestFsyncDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncdiscipline.Analyzer, "segstore")
+}

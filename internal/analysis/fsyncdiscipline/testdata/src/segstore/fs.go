@@ -1,0 +1,15 @@
+package segstore
+
+import "os"
+
+// DirFS is the designated FS implementation; direct os calls are
+// allowed only in this file.
+type DirFS struct{ dir string }
+
+// Rename implements FS over the real filesystem.
+func (f *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(f.dir+"/"+oldname, f.dir+"/"+newname)
+}
+
+// SyncDir implements FS.
+func (f *DirFS) SyncDir() error { return nil }

@@ -1,0 +1,82 @@
+// Package segstore is the fsyncdiscipline fixture: it reuses the real
+// package's name and declares a structurally identical FS slice, so
+// the analyzer sees the same shapes it sees in the durable store.
+package segstore
+
+import "io"
+
+// FS mirrors the durable store's filesystem slice.
+type FS interface {
+	OpenAppend(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	SyncDir() error
+}
+
+// File is an append handle.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// GoodCommit is the blessed sequence: write temp, sync file, rename,
+// sync dir.
+func GoodCommit(fsys FS, data []byte) error {
+	f, err := fsys.OpenAppend("MANIFEST.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename("MANIFEST.tmp", "MANIFEST"); err != nil {
+		return err
+	}
+	return fsys.SyncDir()
+}
+
+// BadNoSync renames without flushing the staged file first.
+func BadNoSync(fsys FS, data []byte) error {
+	f, err := fsys.OpenAppend("MANIFEST.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close()
+	if err := fsys.Rename("MANIFEST.tmp", "MANIFEST"); err != nil { // want `Rename without a preceding file Sync`
+		return err
+	}
+	return fsys.SyncDir()
+}
+
+// BadNoSyncDir renames but never makes the directory entry durable.
+func BadNoSyncDir(fsys FS, data []byte) error {
+	f, err := fsys.OpenAppend("MANIFEST.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return fsys.Rename("MANIFEST.tmp", "MANIFEST") // want `Rename without a following SyncDir`
+}
+
+// SuppressedRename demonstrates a justified suppression: renaming a
+// discardable temp to another temp name is not a commit.
+func SuppressedRename(fsys FS) error {
+	//lint:ignore fsyncdiscipline temp-to-temp rename of discardable staging state, not a commit point
+	return fsys.Rename("a.tmp", "b.tmp")
+}

@@ -1,0 +1,21 @@
+package segstore
+
+import "os"
+
+// FaultFS forwards to an inner FS; its own Rename method is a
+// forwarder, not a commit sequence, and must not be flagged.
+type FaultFS struct{ inner FS }
+
+// Rename implements FS by forwarding.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	return f.inner.Rename(oldname, newname)
+}
+
+// SyncDir implements FS by forwarding.
+func (f *FaultFS) SyncDir() error { return f.inner.SyncDir() }
+
+// BadDirectOS mutates the filesystem behind the FS abstraction's
+// back, outside the DirFS file.
+func BadDirectOS(path string) error {
+	return os.Remove(path) // want `direct os.Remove bypasses the FS abstraction`
+}

@@ -1,0 +1,17 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"vpm/internal/analysis/analysistest"
+	"vpm/internal/analysis/hotpath"
+)
+
+// TestHotpath drives the pass over the fixture: allocation idioms in
+// functions reached from //vpm:hotpath roots — directly, through
+// methods, and through package-local interface calls — must be
+// flagged; grow-only appends, cold functions and justified
+// suppressions must not.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+}

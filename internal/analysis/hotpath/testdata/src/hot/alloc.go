@@ -1,0 +1,38 @@
+package hot
+
+// record mimics a receipt.
+type record struct {
+	id uint64
+}
+
+// encoder mimics the arena encoder shape.
+type encoder struct {
+	out   []record
+	spill []byte
+}
+
+// Drain is an annotated root exercising the remaining idioms.
+//
+//vpm:hotpath
+func (e *encoder) Drain(ids []uint64) []record {
+	for _, id := range ids {
+		e.out = append(e.out, record{id: id})
+	}
+	fresh := append([]record(nil), e.out...) // want `append whose result does not feed back into its base`
+	_ = fresh
+	cb := func(r record) uint64 { return r.id } // want `closure created in a hot function`
+	_ = cb
+	r := &record{id: 1} // want `&composite-literal in a hot function heap-allocates per call`
+	_ = r
+	tmp := []byte{0} // want `slice/map literal in a hot function allocates per call`
+	_ = tmp
+	p := new(record) // want `new in a hot function allocates per call`
+	_ = p
+	var boxed any = record{id: 2}
+	_ = boxed
+	iface := any(record{id: 3}) // want `conversion to an interface in a hot function`
+	_ = iface
+	//lint:ignore hotpath once-per-drain spill buffer, amortized over the whole epoch
+	e.spill = make([]byte, 0, 64)
+	return e.out
+}

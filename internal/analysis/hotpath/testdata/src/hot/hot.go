@@ -1,0 +1,66 @@
+// Package hot is the hotpath fixture: annotated roots, call-graph
+// propagation (direct, method, interface), and every allocation idiom
+// the pass bans.
+package hot
+
+import "fmt"
+
+// Collector mimics the per-packet pipeline shape.
+type Collector struct {
+	counts map[string]int
+	buf    []byte
+	name   string
+}
+
+// observer is a package-local interface; hotness propagates through
+// its method calls to every same-named method in the package.
+type observer interface {
+	observe(id uint64)
+}
+
+// Observe is the per-packet entry point.
+//
+//vpm:hotpath
+func (c *Collector) Observe(id uint64, key string) {
+	c.counts[key]++
+	c.step(id)
+}
+
+// step is hot by propagation from Observe.
+func (c *Collector) step(id uint64) {
+	c.buf = append(c.buf, byte(id)) // grow-only append: allowed
+	label := "pkt:" + c.name        // want `string concatenation in a hot function`
+	_ = label
+}
+
+// BadFmt is hot by direct-call propagation from ObserveBatch.
+func badFmt(id uint64) string {
+	return fmt.Sprintf("pkt-%d", id) // want `fmt.Sprintf in a hot function`
+}
+
+// ObserveBatch is a second annotated root.
+//
+//vpm:hotpath
+func ObserveBatch(c *Collector, ids []uint64) {
+	for _, id := range ids {
+		_ = badFmt(id)
+	}
+	var o observer = sink{}
+	o.observe(0)
+}
+
+type sink struct{}
+
+// observe is hot through the interface fan-out from ObserveBatch.
+func (sink) observe(id uint64) {
+	s := make([]uint64, 1) // want `make in a hot function allocates per call`
+	s[0] = id
+}
+
+// cold is never reached from an annotated root; nothing here is
+// flagged.
+func cold() string {
+	x := make([]byte, 8)
+	_ = x
+	return fmt.Sprintf("cold")
+}

@@ -1,0 +1,24 @@
+// Package registry is the canonical list of vpm-lint's analyzers.
+// cmd/vpm-lint runs exactly this list, and the meta-test in this
+// package holds every entry to the testing bar: a registered analyzer
+// must ship an analysistest suite with positive, negative and
+// //lint:ignore fixtures.
+package registry
+
+import (
+	"vpm/internal/analysis"
+	"vpm/internal/analysis/determinism"
+	"vpm/internal/analysis/errwrap"
+	"vpm/internal/analysis/fsyncdiscipline"
+	"vpm/internal/analysis/hotpath"
+)
+
+// All returns the analyzers vpm-lint runs, in report order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		errwrap.Analyzer,
+		fsyncdiscipline.Analyzer,
+		hotpath.Analyzer,
+	}
+}

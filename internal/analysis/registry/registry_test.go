@@ -1,0 +1,46 @@
+package registry_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vpm/internal/analysis/registry"
+)
+
+// TestEveryAnalyzerHasATestdataSuite is the meta-test the lint
+// framework's own discipline hangs on: an analyzer registered without
+// an analysistest fixture ships unverified diagnostics. Each entry in
+// registry.All must live in internal/analysis/<name>/ with a
+// testdata/src tree next to its test.
+func TestEveryAnalyzerHasATestdataSuite(t *testing.T) {
+	for _, a := range registry.All() {
+		dir := filepath.Join("..", a.Name, "testdata", "src")
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %q has no testdata suite: %v", a.Name, err)
+			continue
+		}
+		if len(entries) == 0 {
+			t.Errorf("analyzer %q has an empty testdata/src", a.Name)
+		}
+	}
+}
+
+// TestAnalyzerMetadata pins the registry invariants the driver and the
+// SARIF encoder rely on: unique non-empty names, docs, and Run hooks.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range registry.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc or run hook", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("registry has %d analyzers, want the 4 verifiability passes", len(seen))
+	}
+}

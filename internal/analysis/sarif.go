@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF rendering for CI: the lint job uploads the findings as a
+// SARIF 2.1.0 artifact so code-scanning UIs can annotate PRs with
+// them. Only the slice of the format the findings need is modeled.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string `json:"id"`
+	Desc struct {
+		Text string `json:"text"`
+	} `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation struct {
+		ArtifactLocation struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}
+
+// EncodeSARIF renders findings as a SARIF 2.1.0 document. Suppressed
+// findings are reported at "note" level so the justification trail
+// stays visible; live findings are "error". Paths are made relative
+// to root when possible.
+func EncodeSARIF(findings []Finding, analyzers []*Analyzer, root string) ([]byte, error) {
+	run := sarifRun{Results: []sarifResult{}}
+	run.Tool.Driver.Name = "vpm-lint"
+	for _, a := range analyzers {
+		r := sarifRule{ID: a.Name}
+		r.Desc.Text = a.Doc
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, r)
+	}
+	for _, f := range findings {
+		res := sarifResult{RuleID: f.Analyzer, Level: "error"}
+		msg := f.Message
+		if f.Fix != "" {
+			msg += " (fix: " + f.Fix + ")"
+		}
+		if f.Suppressed {
+			res.Level = "note"
+			msg += " (suppressed: " + f.Reason + ")"
+		}
+		res.Message.Text = msg
+		var loc sarifLocation
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			uri = rel
+		}
+		loc.PhysicalLocation.ArtifactLocation.URI = filepath.ToSlash(uri)
+		loc.PhysicalLocation.Region.StartLine = f.Pos.Line
+		loc.PhysicalLocation.Region.StartColumn = f.Pos.Column
+		res.Locations = append(res.Locations, loc)
+		run.Results = append(run.Results, res)
+	}
+	return json.MarshalIndent(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}, "", " ")
+}

@@ -221,6 +221,7 @@ func newBackend(cfg *CollectorConfig) backend {
 // sketches carry ~16 KiB of histogram state each.
 func (b *backend) newPathState(cfg *CollectorConfig, key packet.PathKey) *pathState {
 	id := cfg.PathID(key)
+	//lint:ignore hotpath once per newly seen path, amortized over that path's whole packet stream
 	st := &pathState{
 		id:      id,
 		sampler: sampling.New(cfg.Sampling),
@@ -229,6 +230,7 @@ func (b *backend) newPathState(cfg *CollectorConfig, key packet.PathKey) *pathSt
 	if b.sketch {
 		st.sampler.SetKeep(b.keep.Keep)
 		pool := b.pool
+		//lint:ignore hotpath sink closure is bound once at path setup, not per packet
 		st.sampler.SetSink(func(pktID uint64, tNS int64) {
 			if st.sketch == nil {
 				st.sketch = pool.Get(st.id)
@@ -278,6 +280,8 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 // Observe processes one packet observation: classify, aggregate,
 // sample. digest is the packet's 64-bit ID; tNS the HOP's (possibly
 // skewed) observation timestamp.
+//
+//vpm:hotpath
 func (c *Collector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
 	c.observed++
 	key, ok := c.cfg.Table.Classify(pkt)
@@ -299,6 +303,8 @@ func (c *Collector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
 // netsim.BatchObserver entry point. Semantically identical to calling
 // Observe per packet; the ShardedCollector adds the cross-core
 // fan-out.
+//
+//vpm:hotpath
 func (c *Collector) ObserveBatch(batch []netsim.Observation) {
 	for i := range batch {
 		c.Observe(batch[i].Pkt, batch[i].Digest, batch[i].TimeNS)
@@ -314,6 +320,8 @@ func (c *Collector) HOP() receipt.HOPID { return c.cfg.HOP }
 // identical runs drain identical receipt sequences regardless of map
 // iteration order. The control-plane processor calls this
 // periodically.
+//
+//vpm:hotpath
 func (c *Collector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 	samples, aggs := c.takeSpares()
 	for key, st := range c.paths {
@@ -429,9 +437,11 @@ func sortSketches(s []*streamagg.PathSketch) {
 // sorted by PathID only, so each path's aggregates keep their stream
 // order (CombineAggregates relies on it).
 func sortReceipts(samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+	//lint:ignore hotpath two comparator closures once per drain, not per packet
 	sort.Slice(samples, func(a, b int) bool {
 		return samples[a].Path.Compare(samples[b].Path) < 0
 	})
+	//lint:ignore hotpath see above: once per drain
 	sort.SliceStable(aggs, func(a, b int) bool {
 		return aggs[a].Path.Compare(aggs[b].Path) < 0
 	})

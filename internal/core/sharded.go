@@ -200,6 +200,8 @@ func (c *ShardedCollector) classify(pkt *packet.Packet) (key packet.PathKey, has
 
 // Observe processes one packet observation — the single-packet
 // compatibility shim. It runs the owning shard inline.
+//
+//vpm:hotpath
 func (c *ShardedCollector) Observe(pkt *packet.Packet, digest uint64, tNS int64) {
 	c.observed++
 	key, hash, sh, ok := c.classify(pkt)
@@ -217,6 +219,8 @@ func (c *ShardedCollector) Observe(pkt *packet.Packet, digest uint64, tNS int64)
 // classifies and partitions the batch into per-shard sub-batches
 // (preserving arrival order within each shard), then the busy shards
 // run concurrently, one goroutine each.
+//
+//vpm:hotpath
 func (c *ShardedCollector) ObserveBatch(batch []netsim.Observation) {
 	c.observed += uint64(len(batch))
 	for i := range batch {
@@ -267,6 +271,8 @@ func (c *ShardedCollector) runShard(s *shard) {
 // all shards, merged per path via the ⊎ combination operators and
 // sorted by PathID — identical runs drain identical receipt
 // sequences, and a sharded drain is byte-identical to a serial one.
+//
+//vpm:hotpath
 func (c *ShardedCollector) Drain() ([]receipt.SampleReceipt, []receipt.AggReceipt) {
 	samples, aggs := c.takeSpares()
 	for _, s := range c.shards {
@@ -367,6 +373,7 @@ func (c *ShardedCollector) SketchPool() *streamagg.Pool { return c.backend.pool 
 // requirement) duplicates cannot occur; the merge keeps serial and
 // sharded drains behaving identically even if a caller breaks it.
 func mergeSamplesByPath(samples []receipt.SampleReceipt) []receipt.SampleReceipt {
+	//lint:ignore hotpath one dedup map per drain, not per packet
 	byPath := make(map[receipt.PathID]int, len(samples))
 	out := samples[:0]
 	for _, s := range samples {

@@ -219,7 +219,9 @@ var ErrBadSignature = errors.New("dissem: bad signature")
 var ErrWrongOrigin = errors.New("dissem: bundle origin mismatch")
 
 // Verify checks a signed bundle against pub and the expected origin
-// HOP, returning the decoded bundle.
+// HOP, returning the decoded bundle. A forged or corrupted signature
+// returns ErrBadSignature; a bundle claiming a different origin than
+// the key's HOP returns ErrWrongOrigin (match both with errors.Is).
 func Verify(pub ed25519.PublicKey, origin receipt.HOPID, sb SignedBundle) (*Bundle, error) {
 	if !ed25519.Verify(pub, sb.Payload, sb.Sig) {
 		return nil, ErrBadSignature
@@ -240,7 +242,8 @@ func Verify(pub ed25519.PublicKey, origin receipt.HOPID, sb SignedBundle) (*Bund
 // origin's registered key. A bundle claiming a HOP with no registered
 // key is rejected. This is the entry point for streaming ingest,
 // where bundles from many HOPs arrive interleaved and the expected
-// origin is not known per call.
+// origin is not known per call. A signature that fails against the
+// registered key returns ErrBadSignature (match with errors.Is).
 func VerifyFromRegistry(reg Registry, sb SignedBundle) (*Bundle, error) {
 	b, err := DecodeBundle(sb.Payload)
 	if err != nil {

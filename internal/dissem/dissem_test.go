@@ -3,6 +3,7 @@ package dissem
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -88,7 +89,7 @@ func TestVerifyRejectsTampering(t *testing.T) {
 	s := NewSigner(seedOf(2))
 	sb := s.Sign(sampleBundle(4, 0))
 	sb.Payload[30] ^= 0xff
-	if _, err := Verify(s.Public(), 4, sb); err != ErrBadSignature {
+	if _, err := Verify(s.Public(), 4, sb); !errors.Is(err, ErrBadSignature) {
 		t.Errorf("tampered payload: err = %v", err)
 	}
 }
@@ -96,7 +97,7 @@ func TestVerifyRejectsTampering(t *testing.T) {
 func TestVerifyRejectsWrongKey(t *testing.T) {
 	s1, s2 := NewSigner(seedOf(3)), NewSigner(seedOf(4))
 	sb := s1.Sign(sampleBundle(4, 0))
-	if _, err := Verify(s2.Public(), 4, sb); err != ErrBadSignature {
+	if _, err := Verify(s2.Public(), 4, sb); !errors.Is(err, ErrBadSignature) {
 		t.Errorf("wrong key: err = %v", err)
 	}
 }

@@ -143,7 +143,9 @@ func (p *Packet) Serialize(dst []byte) []byte {
 
 // Parse decodes the wire bytes in data into p, overwriting all fields
 // except SentAt. It validates the IPv4 version, header checksum and
-// transport protocol. data may contain extra bytes past the headers.
+// transport protocol, returning ErrTruncated, ErrBadVersion,
+// ErrBadChecksum or ErrBadProto respectively (match with errors.Is).
+// data may contain extra bytes past the headers.
 func (p *Packet) Parse(data []byte) error {
 	if len(data) < IPv4HeaderLen {
 		return ErrTruncated

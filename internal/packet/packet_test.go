@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -88,7 +89,7 @@ func TestParseRejectsBadVersion(t *testing.T) {
 	wire := p.Serialize(nil)
 	wire[0] = 0x65 // version 6
 	var q Packet
-	if err := q.Parse(wire); err != ErrBadVersion {
+	if err := q.Parse(wire); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("err = %v, want ErrBadVersion", err)
 	}
 }
@@ -98,7 +99,7 @@ func TestParseRejectsBadChecksum(t *testing.T) {
 	wire := p.Serialize(nil)
 	wire[10] ^= 0xff
 	var q Packet
-	if err := q.Parse(wire); err != ErrBadChecksum {
+	if err := q.Parse(wire); !errors.Is(err, ErrBadChecksum) {
 		t.Errorf("err = %v, want ErrBadChecksum", err)
 	}
 }
@@ -108,7 +109,7 @@ func TestParseRejectsBadProto(t *testing.T) {
 	p.Proto = 47 // GRE
 	wire := p.Serialize(nil)
 	var q Packet
-	if err := q.Parse(wire); err != ErrBadProto {
+	if err := q.Parse(wire); !errors.Is(err, ErrBadProto) {
 		t.Errorf("err = %v, want ErrBadProto", err)
 	}
 }

@@ -72,7 +72,8 @@ func parseDecimal(s string, max int) (int, error) {
 }
 
 // ParsePathKey parses the form PathKey.String emits
-// ("10.1.0.0/16->172.16.0.0/16"). Strict like ParsePrefix.
+// ("10.1.0.0/16->172.16.0.0/16"). Strict like ParsePrefix: malformed
+// input returns an error wrapping ErrBadPrefix (match with errors.Is).
 func ParsePathKey(s string) (PathKey, error) {
 	src, dst, ok := strings.Cut(s, "->")
 	if !ok {

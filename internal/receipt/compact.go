@@ -135,7 +135,8 @@ func (r AggReceipt) CompactWireSize() int {
 }
 
 // DecodeCompact parses one compact receipt from b. Truncated fields
-// are widened back (packet IDs occupy the low 32 bits).
+// are widened back (packet IDs occupy the low 32 bits). Malformed
+// input returns ErrCorrupt (match with errors.Is).
 func DecodeCompact(b []byte) (*SampleReceipt, *AggReceipt, []byte, error) {
 	if len(b) < 1 {
 		return nil, nil, nil, ErrCorrupt

@@ -133,6 +133,7 @@ func (r AggReceipt) WireSize() int {
 
 // Decode parses one receipt from b, returning the receipt (exactly one
 // of the two pointers is non-nil), the remaining bytes, and an error.
+// Malformed input returns ErrCorrupt (match with errors.Is).
 func Decode(b []byte) (*SampleReceipt, *AggReceipt, []byte, error) {
 	if len(b) < 1 {
 		return nil, nil, nil, ErrCorrupt

@@ -107,6 +107,8 @@ func (s *Sampler) SetSink(sink func(pktID uint64, tNS int64)) { s.sink = sink }
 
 // Observe processes one packet observation (Algorithm 1): pktID is the
 // packet's digest, tNS the HOP's observation timestamp.
+//
+//vpm:hotpath
 func (s *Sampler) Observe(pktID uint64, tNS int64) {
 	s.observed++
 	if hashing.Exceeds(pktID, s.mu) {
@@ -158,6 +160,8 @@ func (s *Sampler) accept(q receipt.SampleRecord) {
 // comparison per packet to find the next marker, then a single bulk
 // append moves the whole segment into the temporary buffer — the
 // steady-state cost is a compare and a memmove, not a call.
+//
+//vpm:hotpath
 func (s *Sampler) ObserveBatch(recs []receipt.SampleRecord) {
 	mu := s.mu
 	for len(recs) > 0 {

@@ -213,7 +213,8 @@ func (f *FaultFS) OpenAppend(name string) (File, error) {
 // ReadFile implements FS (never failed; see type comment).
 func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.fs.ReadFile(name) }
 
-// Rename implements FS.
+// Rename implements FS; an exhausted budget returns an error wrapping
+// ErrInjectedFault.
 func (f *FaultFS) Rename(oldname, newname string) error {
 	if !f.spend() {
 		return fmt.Errorf("%w: rename %s", ErrInjectedFault, oldname)
@@ -221,7 +222,8 @@ func (f *FaultFS) Rename(oldname, newname string) error {
 	return f.fs.Rename(oldname, newname)
 }
 
-// Remove implements FS.
+// Remove implements FS; an exhausted budget returns an error wrapping
+// ErrInjectedFault.
 func (f *FaultFS) Remove(name string) error {
 	if !f.spend() {
 		return fmt.Errorf("%w: remove %s", ErrInjectedFault, name)
@@ -229,7 +231,8 @@ func (f *FaultFS) Remove(name string) error {
 	return f.fs.Remove(name)
 }
 
-// Truncate implements FS.
+// Truncate implements FS; an exhausted budget returns an error
+// wrapping ErrInjectedFault.
 func (f *FaultFS) Truncate(name string, size int64) error {
 	if !f.spend() {
 		return fmt.Errorf("%w: truncate %s", ErrInjectedFault, name)
@@ -240,7 +243,8 @@ func (f *FaultFS) Truncate(name string, size int64) error {
 // List implements FS (never failed).
 func (f *FaultFS) List() ([]string, error) { return f.fs.List() }
 
-// SyncDir implements FS.
+// SyncDir implements FS; an exhausted budget returns an error
+// wrapping ErrInjectedFault.
 func (f *FaultFS) SyncDir() error {
 	if !f.spend() {
 		return fmt.Errorf("%w: syncdir", ErrInjectedFault)

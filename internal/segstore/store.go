@@ -126,7 +126,8 @@ type Store struct {
 // tails are truncated, unsealed partial segments and stale temp files
 // are removed. Returns the store and what recovery found. Integrity
 // failures (a corrupt manifest, a sealed segment that cannot be read
-// back) return typed errors and no store — the caller decides whether
+// back) return typed errors — ErrCorruptManifest, ErrSegmentIntegrity;
+// match with errors.Is — and no store, so the caller decides whether
 // to refuse service or rebuild.
 func Open(dir string, opts Options) (*Store, RecoveryStats, error) {
 	opts = opts.normalize()
@@ -443,7 +444,9 @@ func (s *Store) Sealed(epoch uint64) bool {
 }
 
 // ReadEpoch returns the sealed epoch's record blocks in seal order.
-// Unsealed epochs return ErrNotSealed.
+// Unsealed epochs return ErrNotSealed; a sealed segment whose bytes
+// fail verification returns ErrSegmentIntegrity (match with
+// errors.Is).
 func (s *Store) ReadEpoch(epoch uint64) ([]Block, error) {
 	s.mu.Lock()
 	entry := s.entryForLocked(epoch)
@@ -475,8 +478,9 @@ func (s *Store) ReadEpoch(epoch uint64) ([]Block, error) {
 
 // PutReport durably files the epoch's canonical verdict-report bytes
 // (write-temp, sync, rename, sync-dir — the same commit discipline as
-// the manifest). The epoch must be sealed first: a verdict must never
-// outlive the evidence it judges. Re-putting a report replaces it
+// the manifest). The epoch must be sealed first — a verdict must
+// never outlive the evidence it judges — else ErrNotSealed is
+// returned (match with errors.Is). Re-putting a report replaces it
 // (re-verification writes identical bytes).
 func (s *Store) PutReport(epoch uint64, data []byte) error {
 	s.mu.Lock()

@@ -90,7 +90,8 @@ func decodeShortString(b []byte, what string) (string, []byte, error) {
 
 // DecodeVerdict parses one verdict from b, which must contain exactly
 // one encoding: trailing bytes are rejected, so a successful decode
-// re-encodes byte-identically.
+// re-encodes byte-identically. Malformed input returns an error
+// wrapping ErrCorruptVerdict (match with errors.Is).
 func DecodeVerdict(b []byte) (SeqVerdict, error) {
 	var v SeqVerdict
 	if len(b) < verdictFixedLen {

@@ -116,7 +116,8 @@ var ErrIncompatible = errors.New("sketch: incompatible sketches")
 
 // Subtract returns a new sketch holding the difference s - other:
 // packets in s but not other carry +1 counts, packets in other but not
-// s carry -1. Shared packets cancel exactly.
+// s carry -1. Shared packets cancel exactly. Sketches of different
+// shapes or seeds return ErrIncompatible (match with errors.Is).
 func (s *Sketch) Subtract(other *Sketch) (*Sketch, error) {
 	if len(s.cells) != len(other.cells) || s.seed != other.seed {
 		return nil, ErrIncompatible

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"errors"
 	"testing"
 
 	"vpm/internal/stats"
@@ -149,11 +150,11 @@ func TestCapacityBoundary(t *testing.T) {
 func TestIncompatibleSketches(t *testing.T) {
 	a := mustNew(t, 64)
 	b, _ := New(32, 42)
-	if _, err := a.Subtract(b); err != ErrIncompatible {
+	if _, err := a.Subtract(b); !errors.Is(err, ErrIncompatible) {
 		t.Errorf("size mismatch: err = %v", err)
 	}
 	c, _ := New(64, 43)
-	if _, err := a.Subtract(c); err != ErrIncompatible {
+	if _, err := a.Subtract(c); !errors.Is(err, ErrIncompatible) {
 		t.Errorf("seed mismatch: err = %v", err)
 	}
 }

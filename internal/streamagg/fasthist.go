@@ -61,6 +61,8 @@ func histBounds(idx int) (lo, hi int64) {
 // Observe folds one value into the histogram. Negative values clamp to
 // zero (timestamps are non-decreasing, so negative interarrivals only
 // arise from clock artifacts).
+//
+//vpm:hotpath
 func (h *FastHist) Observe(v int64) {
 	if v < 0 {
 		v = 0

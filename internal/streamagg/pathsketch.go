@@ -30,6 +30,8 @@ type PathSketch struct {
 }
 
 // Observe folds one sampled record into the sketch.
+//
+//vpm:hotpath
 func (ps *PathSketch) Observe(pktID uint64, tNS int64) {
 	ps.Sampled++
 	if ps.iblt != nil {

@@ -81,7 +81,9 @@ func decodeRecord(rec *[recordLen]byte, p *packet.Packet) {
 	p.Window = binary.LittleEndian.Uint16(rec[36:38])
 }
 
-// Read parses a trace file written by Write.
+// Read parses a trace file written by Write. A stream that does not
+// start with the trace magic returns ErrBadMagic (match with
+// errors.Is).
 func Read(r io.Reader) ([]packet.Packet, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -245,7 +246,7 @@ func TestFileEmptyRoundTrip(t *testing.T) {
 }
 
 func TestFileBadMagic(t *testing.T) {
-	if _, err := Read(bytes.NewReader([]byte("NOTATRACEFILE???"))); err != ErrBadMagic {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACEFILE???"))); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", err)
 	}
 }
