@@ -54,11 +54,12 @@ import (
 	"time"
 
 	"vpm/internal/experiments"
+	"vpm/internal/fleet"
 )
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore")
+		run        = flag.String("run", "all", "experiment to run: all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore, fleet")
 		duration   = flag.Duration("duration", time.Second, "trace duration per experiment point (the epoch interval for -run epochs)")
 		rate       = flag.Float64("rate", 100000, "foreground path packet rate (packets/second)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
@@ -69,6 +70,11 @@ func main() {
 		epochs     = flag.Int("epochs", 8, "epochs to rotate through for -run epochs (and key waves for -run churn)")
 		retain     = flag.String("retention", "2,4", "comma-separated retention windows for -run epochs")
 		churnKeys  = flag.Int("churn-keys", 1<<20, "distinct traffic keys to cycle through for -run churn")
+		fltDomains = flag.Int("fleet-domains", 1000, "random-AS topology size for -run fleet")
+		fltKeys    = flag.Int("fleet-keys", 1<<20, "distinct traffic keys for -run fleet")
+		fltColls   = flag.Int("fleet-collectors", 2, "collector processes for -run fleet")
+		fltWidths  = flag.String("fleet-verifiers", "1,2,4", "comma-separated verifier tier widths for -run fleet")
+		fltCheck   = flag.Bool("fleet-check", true, "also replay the fleet world single-process and require byte-identical merges")
 		out        = flag.String("o", "", "write output to file instead of stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the experiments finish) to this file")
@@ -119,8 +125,8 @@ func main() {
 		DurationNS: duration.Nanoseconds(),
 	}
 
-	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "seqdetect" && *run != "topo" && *run != "churn" && *run != "segstore" {
-		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, seqdetect, topo, churn or segstore"))
+	if *jsonOut && *run != "throughput" && *run != "verify" && *run != "epochs" && *run != "attacks" && *run != "seqdetect" && *run != "topo" && *run != "churn" && *run != "segstore" && *run != "fleet" {
+		fatal(fmt.Errorf("-json is only supported with -run throughput, verify, epochs, attacks, seqdetect, topo, churn, segstore or fleet"))
 	}
 
 	var w io.Writer = os.Stdout
@@ -427,8 +433,53 @@ func main() {
 			fmt.Fprint(w, experiments.EpochsRender(rows, *markdown))
 		}
 	}
+	// -run fleet only, never under "all": it compiles and spawns the
+	// real vpm-fleet process tree, which is a CI job of its own, not a
+	// table in the default sweep.
+	if *run == "fleet" {
+		ran = true
+		widths, err := parseCounts(*fltWidths)
+		if err != nil {
+			fatal(err)
+		}
+		// The interval is -duration; the rate is derived so the epoch
+		// stream touches every traffic key about twice over the run.
+		fleetEpochs := 4
+		spec := fleet.Spec{
+			Seed:       *seed,
+			Domains:    *fltDomains,
+			ExtraLinks: *fltDomains / 2,
+			Keys:       *fltKeys,
+			Epochs:     fleetEpochs,
+			IntervalNS: duration.Nanoseconds(),
+			RatePPS:    2 * float64(*fltKeys) / (float64(fleetEpochs) * duration.Seconds()),
+			Collectors: *fltColls,
+		}
+		rows, err := experiments.Fleet(spec, widths, *fltCheck)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			doc := struct {
+				Experiment string           `json:"experiment"`
+				Seed       uint64           `json:"seed"`
+				Collectors int              `json:"collectors"`
+				IntervalNS int64            `json:"interval_ns"`
+				Checked    bool             `json:"checked_against_reference"`
+				Rows       []fleet.BenchRow `json:"rows"`
+			}{"fleet", *seed, *fltColls, duration.Nanoseconds(), *fltCheck, rows}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+		} else {
+			section("Fleet scale-out — verifier processes vs keys/s, byte-identical merges")
+			fmt.Fprint(w, experiments.FleetRender(rows, *markdown))
+		}
+	}
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore)", *run))
+		fatal(fmt.Errorf("unknown experiment %q (want one of all, fig2, fig3, table1, memory, bandwidth, click, verif, attacks, seqdetect, throughput, verify, epochs, topo, churn, segstore, fleet)", *run))
 	}
 }
 

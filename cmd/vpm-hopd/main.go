@@ -14,16 +14,20 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"vpm/internal/core"
@@ -123,8 +127,35 @@ func main() {
 		srv.ServeHTTP(w, r)
 	})
 
-	log.Printf("vpm-hopd: processed %d packets; serving receipts for %d HOPs on %s", len(pkts), len(servers), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	ln, err := net.Listen("tcp", *addr)
+	check(err)
+	// A stalled peer must not be able to pin a connection open forever,
+	// and a signal must drain in-flight fetches instead of dropping
+	// them mid-bundle.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("vpm-hopd: processed %d packets; serving receipts for %d HOPs on %s", len(pkts), len(servers), ln.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		check(fmt.Errorf("serve: %w", err))
+	case sig := <-sigs:
+		log.Printf("vpm-hopd: %v — draining", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("vpm-hopd: drain deadline exceeded — closing")
+		srv.Close()
+	}
+	log.Printf("vpm-hopd: clean shutdown")
 }
 
 func check(err error) {

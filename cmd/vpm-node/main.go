@@ -150,9 +150,21 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("query API listen: %w", err))
 		}
-		srv := &http.Server{Handler: segstore.NewHandler(store, segstore.APIConfig{IntervalNS: interval.Nanoseconds()})}
+		srv := &http.Server{
+			Handler:           segstore.NewHandler(store, segstore.APIConfig{IntervalNS: interval.Nanoseconds()}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go srv.Serve(ln)
-		defer srv.Shutdown(context.Background())
+		// Bounded drain: a peer that opened a connection but never sent
+		// a request must not block exit (Shutdown with a background
+		// context waits for it indefinitely).
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "vpm-node: query API on http://%s\n", ln.Addr())
 	}
 	if *serveOnly {

@@ -71,7 +71,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		hs := &http.Server{Handler: srv}
+		hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 		servers = append(servers, hs)
 		go func() { _ = hs.Serve(ln) }()
 		urls[hop] = "http://" + ln.Addr().String()
@@ -110,7 +110,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: evil}
+	hs := &http.Server{Handler: evil, ReadHeaderTimeout: 10 * time.Second}
 	servers = append(servers, hs)
 	go func() { _ = hs.Serve(ln) }()
 	if _, err := client.Fetch(ctx, "http://"+ln.Addr().String(), 4, 0); err != nil {

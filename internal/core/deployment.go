@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vpm/internal/aggregation"
 	"vpm/internal/hashing"
@@ -154,8 +155,9 @@ type Deployment struct {
 	// flagging thinned records as missing.
 	sampleKeep func(pktID uint64) bool
 	// keyLayouts caches the per-key route layouts of a mesh deployment
-	// (nil for linear ones); built once in NewTopoDeployment.
-	keyLayouts map[packet.PathKey][]Layout
+	// (nil for linear ones); built lazily on first KeyLayouts call.
+	keyLayoutsOnce sync.Once
+	keyLayouts     map[packet.PathKey][]Layout
 }
 
 // NewDeployment builds collectors for every HOP of every deploying

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"vpm/internal/netsim"
 	"vpm/internal/packet"
@@ -240,8 +241,27 @@ type EpochDriver struct {
 // NewEpochDriver wraps every collector of dep in an epoch clock of the
 // given interval feeding sink.
 func NewEpochDriver(dep *Deployment, intervalNS int64, sink EpochSink) (*EpochDriver, error) {
-	d := &EpochDriver{dep: dep, cols: make(map[receipt.HOPID]*EpochCollector, len(dep.Collectors))}
-	for id, col := range dep.Collectors {
+	hops := make([]receipt.HOPID, 0, len(dep.Collectors))
+	for id := range dep.Collectors {
+		hops = append(hops, id)
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+	return NewEpochDriverFor(dep, hops, intervalNS, sink)
+}
+
+// NewEpochDriverFor wraps only the named HOPs' collectors of dep — the
+// slice of the deployment one fleet collector process drives, when the
+// deployment's HOPs are split across per-domain processes. Every named
+// HOP must have a collector in dep. Distinct processes driving
+// disjoint HOP subsets of the same deterministic world produce, in
+// union, exactly the epochs one whole-deployment driver would.
+func NewEpochDriverFor(dep *Deployment, hops []receipt.HOPID, intervalNS int64, sink EpochSink) (*EpochDriver, error) {
+	d := &EpochDriver{dep: dep, cols: make(map[receipt.HOPID]*EpochCollector, len(hops))}
+	for _, id := range hops {
+		col, ok := dep.Collectors[id]
+		if !ok {
+			return nil, fmt.Errorf("core: epoch driver: deployment has no collector for %v", id)
+		}
 		ec, err := NewEpochCollector(col, intervalNS, sink)
 		if err != nil {
 			return nil, err
@@ -265,7 +285,16 @@ func (d *EpochDriver) Observers() map[receipt.HOPID]netsim.Observer {
 // boundary seal empty intervals). Call once, after the last simulation
 // segment has fully replayed. Returns the common terminal epoch.
 func (d *EpochDriver) Close() EpochID {
-	var last EpochID
+	return d.CloseAt(0)
+}
+
+// CloseAt is Close with a floor on the common terminal: every HOP
+// seals empty intervals up to at least epoch `last`. A driver covering
+// only a HOP subset cannot see the other processes' natural terminals,
+// so fleet collectors agree on a spec-derived terminal up front and
+// close at it — every process's store then seals the same epoch range
+// and the union is verifiable.
+func (d *EpochDriver) CloseAt(last EpochID) EpochID {
 	for _, ec := range d.cols {
 		if t := ec.Close(); t > last {
 			last = t

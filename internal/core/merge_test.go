@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vpm/internal/packet"
+	"vpm/internal/seqdetect"
+)
+
+func mergeKey(b byte) packet.PathKey {
+	return packet.PathKey{
+		Src: packet.MakePrefix(10, 0, 0, b, 32),
+		Dst: packet.MakePrefix(192, 0, 0, b, 32),
+	}
+}
+
+func TestMergeEpochReportsReordersToCanonical(t *testing.T) {
+	// A whole report split across three shards in arbitrary key order.
+	whole := EpochReport{Epoch: 7, Keys: []EpochKeyReport{
+		{Key: mergeKey(1), Route: 0},
+		{Key: mergeKey(1), Route: 1},
+		{Key: mergeKey(2), Route: 0},
+		{Key: mergeKey(5), Route: 0},
+	}}
+	parts := []EpochReport{
+		{Epoch: 7, Keys: []EpochKeyReport{{Key: mergeKey(5), Route: 0}, {Key: mergeKey(1), Route: 1}}},
+		{Epoch: 7, Keys: []EpochKeyReport{{Key: mergeKey(2), Route: 0}, {Key: mergeKey(1), Route: 0}}},
+		{Epoch: 7}, // shard that owned no traffic this epoch
+	}
+	got, err := MergeEpochReports(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := EncodeEpochReport(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := EncodeEpochReport(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("merge not canonical:\n got %s\nwant %s", gotB, wantB)
+	}
+}
+
+func TestMergeEpochReportsEmptyStaysNull(t *testing.T) {
+	got, err := MergeEpochReports([]EpochReport{{Epoch: 3}, {Epoch: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Keys != nil {
+		t.Fatalf("all-empty merge produced non-nil Keys %v — canonical idle encoding is null", got.Keys)
+	}
+	b, _ := EncodeEpochReport(got)
+	single, _ := EncodeEpochReport(EpochReport{Epoch: 3})
+	if !bytes.Equal(b, single) {
+		t.Fatalf("idle merge encodes %s, single-process idle epoch encodes %s", b, single)
+	}
+}
+
+func TestMergeEpochReportsRefusals(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts []EpochReport
+	}{
+		{"no parts", nil},
+		{"epoch mismatch", []EpochReport{{Epoch: 1}, {Epoch: 2}}},
+		{"duplicate key+route", []EpochReport{
+			{Epoch: 1, Keys: []EpochKeyReport{{Key: mergeKey(1), Route: 0}}},
+			{Epoch: 1, Keys: []EpochKeyReport{{Key: mergeKey(1), Route: 0}}},
+		}},
+		{"sequential verdicts", []EpochReport{
+			{Epoch: 1, Seq: []seqdetect.SeqVerdict{{}}},
+			{Epoch: 1},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := MergeEpochReports(tc.parts); !errors.Is(err, ErrBadMerge) {
+			t.Errorf("%s: want ErrBadMerge, got %v", tc.name, err)
+		}
+	}
+}

@@ -87,14 +87,11 @@ func NewTopoDeployment(topo *netsim.Topology, table *packet.Table, cfg DeployCon
 		d.Processors[h] = NewProcessor(col)
 		d.sampleThresholds[h] = hashing.ThresholdForRate(tune.SampleRate)
 	}
-	// Route layouts are pure functions of the (immutable) topology:
-	// derive them once so every NewVerifierOn / KeyLayouts caller
-	// shares the cache instead of re-walking the route table.
-	d.keyLayouts = make(map[packet.PathKey][]Layout)
-	for ri := range topo.Routes {
-		key := topo.Routes[ri].Key
-		d.keyLayouts[key] = append(d.keyLayouts[key], d.RouteLayout(ri))
-	}
+	// Route layouts are pure functions of the (immutable) topology;
+	// they are derived lazily on first KeyLayouts call so collector-
+	// only processes (fleet collectors never verify) skip the cost —
+	// at a million keys the layout cache is the deployment's largest
+	// allocation.
 	return d, nil
 }
 
@@ -169,9 +166,30 @@ func (d *Deployment) RouteLayouts() []Layout {
 // KeyLayouts groups the route layouts by traffic key, in route-table
 // order — the map RollingVerifier.SetKeyLayouts consumes for mesh
 // verification, and the unit batch verification iterates: one
-// verification sweep per (key, route layout). The returned map is the
-// deployment's shared cache (layouts are immutable once built); do not
+// verification sweep per (key, route layout). The map is built on
+// first call and cached (layouts are immutable once built); do not
 // mutate it.
 func (d *Deployment) KeyLayouts() map[packet.PathKey][]Layout {
+	d.keyLayoutsOnce.Do(func() {
+		d.keyLayouts = d.KeyLayoutsFor(nil)
+	})
 	return d.keyLayouts
+}
+
+// KeyLayoutsFor builds the route-layout map for the keys keep admits
+// (nil keeps every key) — the key-sliced verifier view a fleet shard
+// uses: a verifier responsible for 1/Nth of the key space materializes
+// layouts for its slice only, instead of the whole route table's.
+// Each call builds a fresh map; for the unfiltered shared cache use
+// KeyLayouts.
+func (d *Deployment) KeyLayoutsFor(keep func(packet.PathKey) bool) map[packet.PathKey][]Layout {
+	out := make(map[packet.PathKey][]Layout)
+	for ri := range d.Topo.Routes {
+		key := d.Topo.Routes[ri].Key
+		if keep != nil && !keep(key) {
+			continue
+		}
+		out[key] = append(out[key], d.RouteLayout(ri))
+	}
+	return out
 }

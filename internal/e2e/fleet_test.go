@@ -1,0 +1,180 @@
+package e2e
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vpm/internal/fleet"
+)
+
+// fleetSpec is the shared world every process in the black-box fleet
+// test derives independently from the spec JSON. Small enough to run
+// under -race in CI, large enough that a paced collection is still
+// in flight when the verifier is killed.
+func fleetSpec() fleet.Spec {
+	return fleet.Spec{
+		Seed:       42,
+		Domains:    8,
+		ExtraLinks: 6,
+		Keys:       64,
+		Epochs:     3,
+		IntervalNS: 50_000_000,
+		RatePPS:    60_000,
+		Collectors: 2,
+	}
+}
+
+func buildVPMFleet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vpm-fleet")
+	cmd := exec.Command("go", "build", "-o", bin, "vpm/cmd/vpm-fleet")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building vpm-fleet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var fleetAddrRE = regexp.MustCompile(`collector \d+ serving on (http://[^\s]+)`)
+
+// startFleetCollector spawns one real collector process and scrapes
+// its announced address. Pacing stretches the simulation over wall
+// time so the kill below lands while collection is still in flight.
+func startFleetCollector(t *testing.T, bin string, spec fleet.Spec, index int, pace time.Duration) (*exec.Cmd, string) {
+	t.Helper()
+	args := []string{"collect",
+		"-spec", spec.Encode(),
+		"-index", strconv.Itoa(index),
+		"-addr", "127.0.0.1:0",
+		"-chunk", "512",
+	}
+	if pace > 0 {
+		args = append(args, "-pace", pace.String())
+	}
+	cmd := exec.Command(bin, args...)
+	stderr := &syncBuffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd, scrapeAddr(t, stderr, fleetAddrRE, fmt.Sprintf("collector %d", index))
+}
+
+func fleetVerifyCmd(bin string, spec fleet.Spec, shards, shard int, urls []string, out string) *exec.Cmd {
+	return exec.Command(bin, "verify",
+		"-spec", spec.Encode(),
+		"-shards", strconv.Itoa(shards),
+		"-shard", strconv.Itoa(shard),
+		"-collectors", strings.Join(urls, ","),
+		"-out", out,
+	)
+}
+
+// TestFleetVerifierKillAndRestartConverges is the black-box fleet
+// proof: real collector and verifier binaries over real HTTP, one
+// verifier shard SIGKILLed while collection is still streaming, then
+// restarted from nothing. Because collectors retain every bundle,
+// the restarted shard replays the feeds from cursor zero and the
+// merged union must be byte-identical to the in-process single-run
+// reference — crash recovery without a recovery protocol.
+func TestFleetVerifierKillAndRestartConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vpm-fleet binary")
+	}
+	bin := buildVPMFleet(t)
+	spec := fleetSpec()
+
+	// The oracle: one in-process whole-world run (fresh World — the
+	// collector state is single-use).
+	refWorld, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReports, err := fleet.RunReference(refWorld, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEnc, err := fleet.EncodeReports(refReports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paced collectors: ~512 packet slots per 20ms keeps the stream
+	// alive for roughly a second of wall clock.
+	urls := make([]string, spec.Collectors)
+	for i := range urls {
+		_, urls[i] = startFleetCollector(t, bin, spec, i, 20*time.Millisecond)
+	}
+
+	dir := t.TempDir()
+	const shards = 2
+	parts := make([]string, shards)
+	cmds := make([]*exec.Cmd, shards)
+	for s := range parts {
+		parts[s] = filepath.Join(dir, fmt.Sprintf("part-%d.json", s))
+		cmds[s] = fleetVerifyCmd(bin, spec, shards, s, urls, parts[s])
+		var stderr bytes.Buffer
+		cmds[s].Stderr = &stderr
+		if err := cmds[s].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill shard 1 while the collectors are still streaming epochs.
+	time.Sleep(150 * time.Millisecond)
+	if err := cmds[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err = cmds[1].Wait()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() == 0 {
+		t.Fatalf("killed verifier reported %v", err)
+	}
+
+	// Restart it cold: no state survives, the part file was never
+	// written; the shard refetches everything and writes as if the
+	// crash never happened.
+	restarted := fleetVerifyCmd(bin, spec, shards, 1, urls, parts[1])
+	var restartErr bytes.Buffer
+	restarted.Stderr = &restartErr
+	if err := restarted.Run(); err != nil {
+		t.Fatalf("restarted verifier: %v\nstderr:\n%s", err, restartErr.String())
+	}
+	if err := cmds[0].Wait(); err != nil {
+		t.Fatalf("surviving verifier: %v", err)
+	}
+
+	outs := make([]*fleet.ShardOutput, shards)
+	for s, p := range parts {
+		if outs[s], err = fleet.ReadShardFile(p); err != nil {
+			t.Fatalf("part %d: %v", s, err)
+		}
+	}
+	merged, err := fleet.MergeShardOutputs(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(refEnc) {
+		t.Fatalf("merged %d epochs, reference has %d", len(merged), len(refEnc))
+	}
+	for e := range merged {
+		if !bytes.Equal(merged[e], refEnc[e]) {
+			t.Fatalf("epoch %d union diverges from single-process reference after kill+restart:\n got %s\nwant %s",
+				e, merged[e], refEnc[e])
+		}
+	}
+	if got, want := fleet.Fingerprint(merged), fleet.Fingerprint(refEnc); got != want {
+		t.Fatalf("fingerprint %s after kill+restart, reference %s", got, want)
+	}
+}

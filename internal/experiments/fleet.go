@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"vpm/internal/fleet"
+)
+
+// Fleet measures the multi-process scale-out curve: it builds the real
+// vpm-fleet binary, spawns the collector processes once, then runs the
+// verifier tier at each requested width over the same collector set —
+// real processes, real HTTP, real part files — and returns the
+// keys/s-vs-processes rows the supervisor reports. The supervisor
+// enforces that every width's merged verdict fingerprint matches, and
+// with check it also replays the whole world single-process in-process
+// and requires the merge byte-identical to it; a divergence is an
+// error here, not a row.
+//
+// This experiment needs the go toolchain on PATH (it compiles
+// vpm/cmd/vpm-fleet into a temp dir), unlike the in-process sweeps.
+func Fleet(spec fleet.Spec, widths []int, check bool) ([]fleet.BenchRow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4}
+	}
+	dir, err := os.MkdirTemp("", "vpm-fleet-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "vpm-fleet")
+	build := exec.Command("go", "build", "-o", bin, "vpm/cmd/vpm-fleet")
+	if out, err := build.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("building vpm-fleet: %w\n%s", err, out)
+	}
+
+	var widthTexts []string
+	for _, w := range widths {
+		widthTexts = append(widthTexts, strconv.Itoa(w))
+	}
+	args := []string{"run",
+		"-spec", spec.Encode(),
+		"-verifiers", strings.Join(widthTexts, ","),
+		"-dir", dir,
+		"-json",
+	}
+	if check {
+		args = append(args, "-check")
+	}
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("vpm-fleet run: %w\nstderr:\n%s", err, stderr.String())
+	}
+	var rows []fleet.BenchRow
+	if err := json.Unmarshal(stdout.Bytes(), &rows); err != nil {
+		return nil, fmt.Errorf("decoding vpm-fleet rows: %w\n%s", err, stdout.String())
+	}
+	for _, r := range rows[1:] {
+		if r.Fingerprint != rows[0].Fingerprint {
+			return nil, fmt.Errorf("fleet fingerprints diverge: procs=%d got %s, procs=%d got %s",
+				rows[0].Procs, rows[0].Fingerprint, r.Procs, r.Fingerprint)
+		}
+	}
+	return rows, nil
+}
+
+// FleetRender formats the scale-out curve.
+func FleetRender(rows []fleet.BenchRow, markdown bool) string {
+	var b strings.Builder
+	if markdown {
+		b.WriteString("| verifier procs | domains | keys | packets | wall [ms] | keys/s | fingerprint |\n")
+		b.WriteString("|---:|---:|---:|---:|---:|---:|:---|\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "| %d | %d | %d | %d | %.0f | %.0f | %s |\n",
+				r.Procs, r.Domains, r.Keys, r.Packets, r.WallMS, r.KeysPerSec, r.Fingerprint)
+		}
+	} else {
+		fmt.Fprintf(&b, "%14s %8s %9s %10s %10s %12s  %s\n",
+			"verifier procs", "domains", "keys", "packets", "wall [ms]", "keys/s", "fingerprint")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%14d %8d %9d %10d %10.0f %12.0f  %s\n",
+				r.Procs, r.Domains, r.Keys, r.Packets, r.WallMS, r.KeysPerSec, r.Fingerprint)
+		}
+	}
+	return b.String()
+}

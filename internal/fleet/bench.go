@@ -1,0 +1,17 @@
+package fleet
+
+// BenchRow is one verifier-tier width's result in the fleet scale-out
+// sweep — the keys/s-vs-processes curve point that vpm-fleet run -json
+// emits and BENCH_fleet.json records. Fingerprint is the sha256-based
+// digest of the merged verdict stream (Fingerprint); equal fingerprints
+// across widths is the byte-identity acceptance gate.
+type BenchRow struct {
+	Procs       int     `json:"procs"`
+	Domains     int     `json:"domains"`
+	Keys        int     `json:"keys"`
+	Packets     int64   `json:"packets"`
+	Epochs      int     `json:"epochs"`
+	WallMS      float64 `json:"wall_ms"`
+	KeysPerSec  float64 `json:"keys_per_sec"`
+	Fingerprint string  `json:"fingerprint"`
+}

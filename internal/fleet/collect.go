@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vpm/internal/core"
+	"vpm/internal/dissem"
+	"vpm/internal/netsim"
+	"vpm/internal/receipt"
+)
+
+// Collector is one collector process's state: it drives the epoch
+// pipeline for the HOPs of its domain slice and serves every sealed
+// epoch as a signed bundle. The HTTP surface a verifier consumes:
+//
+//	GET /hops                 — JSON list of the HOPs this process owns
+//	GET /hop/<id>/receipts    — that HOP's bundle feed (dissem.Server)
+//	GET /status               — {"index","finished","terminal"}
+//
+// Bundles are retained for the whole run (no DropThrough): a verifier
+// shard that crashes and restarts re-fetches everything from cursor
+// zero, which is what makes verifier restart a pure replay instead of
+// a recovery protocol.
+type Collector struct {
+	world   *World
+	index   int
+	owned   []receipt.HOPID
+	servers map[receipt.HOPID]*dissem.Server
+	mux     *http.ServeMux
+
+	finished atomic.Bool
+	terminal atomic.Uint64
+}
+
+// CollectorOptions tunes the simulation drive loop, not its output —
+// every option combination produces the same bundles.
+type CollectorOptions struct {
+	// ChunkSlots is how many packet slots each simulation segment
+	// materializes (bounds peak memory). 0 means a 256k default.
+	ChunkSlots int64
+	// Pace inserts a real-time sleep between segments, so tests can
+	// kill processes mid-epoch deterministically. 0 runs full speed.
+	Pace time.Duration
+}
+
+// NewCollector builds collector process index's state for the world.
+// The collector drives w's per-HOP collector state, which is
+// single-use: build a fresh World per collector run (each real process
+// does, from the shared spec), and never share one World between a
+// collector and RunReference.
+func NewCollector(w *World, index int) (*Collector, error) {
+	if index < 0 || index >= w.Spec.Collectors {
+		return nil, fmt.Errorf("fleet: collector index %d outside [0, %d)", index, w.Spec.Collectors)
+	}
+	c := &Collector{
+		world:   w,
+		index:   index,
+		owned:   w.OwnedHOPs(index),
+		servers: make(map[receipt.HOPID]*dissem.Server),
+	}
+	for _, h := range c.owned {
+		c.servers[h] = dissem.NewServer(h, w.Spec.Signer(h))
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/hops", c.handleHops)
+	c.mux.HandleFunc("/status", c.handleStatus)
+	c.mux.HandleFunc("/hop/", c.handleReceipts)
+	return c, nil
+}
+
+// Owned returns the HOPs this collector drives, ascending.
+func (c *Collector) Owned() []receipt.HOPID { return c.owned }
+
+// Handler returns the collector's HTTP surface. It is safe to serve
+// while Run is still simulating: bundle feeds grow as epochs seal and
+// /status flips finished when the terminal epoch is sealed.
+func (c *Collector) Handler() http.Handler { return c.mux }
+
+// HopInfo is one row of the /hops listing.
+type HopInfo struct {
+	HOP    receipt.HOPID `json:"hop"`
+	Domain string        `json:"domain"`
+	// Pub is the HOP's ed25519 public key, hex — informational (the
+	// verifier derives keys from the spec; a real deployment would
+	// authenticate this listing out of band).
+	Pub string `json:"pub"`
+}
+
+// CollectorStatus is the /status document.
+type CollectorStatus struct {
+	Index int `json:"index"`
+	// Finished reports that every owned HOP has sealed every epoch
+	// through Terminal — the feed will not grow further.
+	Finished bool   `json:"finished"`
+	Terminal uint64 `json:"terminal"`
+}
+
+func (c *Collector) handleHops(w http.ResponseWriter, r *http.Request) {
+	out := make([]HopInfo, 0, len(c.owned))
+	for _, h := range c.owned {
+		d := c.world.Topo.HOPDomain(h)
+		out = append(out, HopInfo{
+			HOP:    h,
+			Domain: c.world.Topo.Domains[d].Name,
+			Pub:    hex.EncodeToString(c.world.Spec.Signer(h).Public()),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (c *Collector) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(CollectorStatus{
+		Index:    c.index,
+		Finished: c.finished.Load(),
+		Terminal: c.terminal.Load(),
+	})
+}
+
+func (c *Collector) handleReceipts(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/hop/")
+	idText, ok := strings.CutSuffix(rest, "/receipts")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	id, err := strconv.ParseUint(idText, 10, 32)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	srv, ok := c.servers[receipt.HOPID(id)]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	srv.ServeHTTP(w, r)
+}
+
+// Run simulates the whole world's traffic while observing only the
+// owned HOPs, publishing each sealed (HOP, epoch) as one signed
+// bundle. The simulation is the full deterministic world — every
+// collector process replays identical traffic and forwarding decisions
+// — but observation is restricted to the process's HOPs, so the union
+// of all collectors' bundles equals a single whole-world run's (the
+// replayer delivers per-HOP observation streams independently).
+// Returns once every owned HOP has sealed through the spec-derived
+// terminal epoch, or early with ctx's error on cancellation.
+func (c *Collector) Run(ctx context.Context, opts CollectorOptions) error {
+	chunk := opts.ChunkSlots
+	if chunk <= 0 {
+		chunk = 1 << 18
+	}
+	sink := func(hop receipt.HOPID, epoch core.EpochID, samples []receipt.SampleReceipt, aggs []receipt.AggReceipt) {
+		c.servers[hop].PublishEpoch(uint64(epoch), samples, aggs)
+	}
+	driver, err := core.NewEpochDriverFor(c.world.Dep, c.owned, c.world.Spec.IntervalNS, sink)
+	if err != nil {
+		return err
+	}
+	runner, err := netsim.NewTopoRunner(c.world.Topo, c.world.Table)
+	if err != nil {
+		return err
+	}
+	observers := driver.Observers()
+	total := c.world.Spec.TotalSlots()
+	for lo := int64(0); lo < total; lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + chunk
+		horizon := int64(1) << 62
+		if hi < total {
+			// Every future packet is sent at or after the next chunk's
+			// first send time.
+			horizon = c.world.Spec.slotTime(hi)
+		} else {
+			hi = total
+		}
+		pkts := c.world.Spec.PacketsForSlots(c.world.Keys, lo, hi)
+		if _, err := runner.RunSegment(pkts, observers, horizon); err != nil {
+			return err
+		}
+		if opts.Pace > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(opts.Pace):
+			}
+		}
+	}
+	driver.CloseAt(c.world.Terminal)
+	c.terminal.Store(uint64(c.world.Terminal))
+	c.finished.Store(true)
+	return nil
+}

@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"vpm/internal/core"
+	"vpm/internal/dissem"
+	"vpm/internal/netsim"
+)
+
+// testSpec is small enough to simulate once per collector per shard
+// count, large enough that every epoch carries receipts for most keys.
+func testSpec() Spec {
+	return Spec{
+		Seed:       42,
+		Domains:    8,
+		ExtraLinks: 6,
+		Keys:       64,
+		Epochs:     3,
+		IntervalNS: 50_000_000, // 50ms epochs
+		RatePPS:    60_000,     // ~3000 packets per epoch
+		Collectors: 2,
+		Workers:    2,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := testSpec()
+	got, err := ParseSpec(s.Encode())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", got, s)
+	}
+	bad := s
+	bad.Collectors = 0
+	if _, err := ParseSpec(bad.Encode()); err == nil {
+		t.Fatal("zero-collector spec validated")
+	}
+	if _, err := ParseSpec("{"); err == nil {
+		t.Fatal("malformed spec parsed")
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("zero-shard ring built")
+	}
+	r1, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(4)
+	keys := netsim.WideKeys(10_000)
+	counts := make([]int, 4)
+	for _, k := range keys {
+		s := r1.OwnerKey(k)
+		if s2 := r2.OwnerKey(k); s2 != s {
+			t.Fatalf("two rings disagree on %v: %d vs %d", k, s, s2)
+		}
+		counts[s]++
+	}
+	// Consistent hashing with 64 vnodes is not perfectly even, but no
+	// shard should be starved or hold a majority.
+	for s, c := range counts {
+		if c < len(keys)/10 || c > len(keys)*4/10 {
+			t.Fatalf("shard %d owns %d of %d keys — ring badly unbalanced (%v)", s, c, len(keys), counts)
+		}
+	}
+	// One shard owns everything.
+	one, _ := NewRing(1)
+	for _, k := range keys[:100] {
+		if one.OwnerKey(k) != 0 {
+			t.Fatal("1-shard ring routed a key off shard 0")
+		}
+	}
+}
+
+func TestWorldSplitsHOPsAcrossCollectors(t *testing.T) {
+	w, err := testSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]int)
+	for ci := 0; ci < w.Spec.Collectors; ci++ {
+		for _, h := range w.OwnedHOPs(ci) {
+			if prev, dup := seen[uint32(h)]; dup {
+				t.Fatalf("HOP %v owned by collectors %d and %d", h, prev, ci)
+			}
+			seen[uint32(h)] = ci
+		}
+	}
+	if len(seen) != len(w.HOPs) {
+		t.Fatalf("collectors own %d HOPs, world has %d", len(seen), len(w.HOPs))
+	}
+	if w.Terminal < core.EpochID(w.Spec.Epochs-1) {
+		t.Fatalf("terminal epoch %d before the last traffic epoch %d", w.Terminal, w.Spec.Epochs-1)
+	}
+}
+
+// startCollectors runs every collector process in-process: each drives
+// its slice of the world and serves its bundles from an httptest
+// server. Each collector builds its own World from the spec, exactly
+// like a real process would — a World's per-HOP collector state is
+// single-use. Returns the base URLs and a wait function.
+func startCollectors(t *testing.T, spec Spec) ([]string, func()) {
+	t.Helper()
+	urls := make([]string, spec.Collectors)
+	var wg sync.WaitGroup
+	errs := make([]error, spec.Collectors)
+	for ci := 0; ci < spec.Collectors; ci++ {
+		cw, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCollector(cw, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(c.Handler())
+		t.Cleanup(hs.Close)
+		urls[ci] = hs.URL
+		wg.Add(1)
+		go func(ci int, c *Collector) {
+			defer wg.Done()
+			errs[ci] = c.Run(context.Background(), CollectorOptions{})
+		}(ci, c)
+	}
+	return urls, func() {
+		wg.Wait()
+		for ci, err := range errs {
+			if err != nil {
+				t.Fatalf("collector %d: %v", ci, err)
+			}
+		}
+	}
+}
+
+// TestFleetMatchesReferenceAtEveryShardCount is the tentpole
+// acceptance test in miniature: the same world, collected by 2
+// processes and verified by {1, 2, 4} shards, must merge into verdict
+// bytes identical to the single-process reference at every width.
+func TestFleetMatchesReferenceAtEveryShardCount(t *testing.T) {
+	w, err := testSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReports, err := RunReference(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refReports) != int(w.Terminal)+1 {
+		t.Fatalf("reference produced %d reports, want %d (epochs 0..%d)", len(refReports), int(w.Terminal)+1, w.Terminal)
+	}
+	ref, err := EncodeReports(refReports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFP := Fingerprint(ref)
+	sawTraffic := false
+	for _, r := range ref {
+		if bytes.Contains(r, []byte(`"Keys"`)) {
+			sawTraffic = true
+		}
+	}
+	if !sawTraffic {
+		t.Fatal("reference verdicts carry no per-key reports — the fixture is too small to prove anything")
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		urls, wait := startCollectors(t, w.Spec)
+		parts := make([]*ShardOutput, shards)
+		verrs := make([]error, shards)
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			v, err := NewVerifier(w, shards, s, VerifierOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(s int, v *Verifier) {
+				defer wg.Done()
+				reports, err := v.Run(context.Background(), urls, VerifierOptions{Poll: 5 * time.Millisecond})
+				if err != nil {
+					verrs[s] = err
+					return
+				}
+				parts[s], verrs[s] = NewShardOutput(shards, s, reports)
+			}(s, v)
+		}
+		wg.Wait()
+		wait()
+		for s, err := range verrs {
+			if err != nil {
+				t.Fatalf("shards=%d: verifier %d: %v", shards, s, err)
+			}
+		}
+		merged, err := MergeShardOutputs(parts)
+		if err != nil {
+			t.Fatalf("shards=%d: merge: %v", shards, err)
+		}
+		if len(merged) != len(ref) {
+			t.Fatalf("shards=%d: merged %d epochs, reference has %d", shards, len(merged), len(ref))
+		}
+		for e := range merged {
+			if !bytes.Equal(merged[e], ref[e]) {
+				t.Fatalf("shards=%d: epoch %d verdict diverges from reference:\n got %s\nwant %s",
+					shards, e, merged[e], ref[e])
+			}
+		}
+		if fp := Fingerprint(merged); fp != refFP {
+			t.Fatalf("shards=%d: fingerprint %s, want %s", shards, fp, refFP)
+		}
+	}
+}
+
+// TestVerifierRestartIsReplay: a verifier that ran, was discarded, and
+// re-ran from scratch against retained collector feeds produces
+// byte-identical output — crash recovery needs no state.
+func TestVerifierRestartIsReplay(t *testing.T) {
+	w, err := testSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls, wait := startCollectors(t, w.Spec)
+	run := func() *ShardOutput {
+		v, err := NewVerifier(w, 2, 0, VerifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := v.Run(context.Background(), urls, VerifierOptions{Poll: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := NewShardOutput(2, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := run()
+	wait() // collectors done: the second run replays a complete feed
+	second := run()
+	if len(first.Reports) != len(second.Reports) {
+		t.Fatalf("restart changed epoch count: %d vs %d", len(first.Reports), len(second.Reports))
+	}
+	for e := range first.Reports {
+		if !bytes.Equal(first.Reports[e], second.Reports[e]) {
+			t.Fatalf("restart changed epoch %d verdict", e)
+		}
+	}
+}
+
+func TestMergeShardOutputsRefusesBadTiers(t *testing.T) {
+	mk := func(shards, shard int, n int) *ShardOutput {
+		out, err := NewShardOutput(shards, shard, make([]core.EpochReport, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Give each report its epoch so the core merge accepts them.
+		for e := 0; e < n; e++ {
+			b, _ := core.EncodeEpochReport(core.EpochReport{Epoch: core.EpochID(e)})
+			out.Reports[e] = b
+		}
+		return out
+	}
+	if _, err := MergeShardOutputs(nil); err == nil {
+		t.Fatal("merged zero parts")
+	}
+	if _, err := MergeShardOutputs([]*ShardOutput{mk(2, 0, 3)}); err == nil {
+		t.Fatal("merged an incomplete tier")
+	}
+	if _, err := MergeShardOutputs([]*ShardOutput{mk(2, 0, 3), mk(3, 1, 3)}); err == nil {
+		t.Fatal("merged mixed tiers")
+	}
+	if _, err := MergeShardOutputs([]*ShardOutput{mk(2, 0, 3), mk(2, 0, 3)}); err == nil {
+		t.Fatal("merged duplicate shard indexes")
+	}
+	if _, err := MergeShardOutputs([]*ShardOutput{mk(2, 0, 3), mk(2, 1, 2)}); err == nil {
+		t.Fatal("merged mismatched epoch ranges")
+	}
+	good, err := MergeShardOutputs([]*ShardOutput{mk(2, 0, 3), mk(2, 1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 3 {
+		t.Fatalf("merged %d epochs, want 3", len(good))
+	}
+}
+
+func TestFilterBundlePreservesIdentity(t *testing.T) {
+	w, err := testSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVerifier(w, 4, 2, VerifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &dissem.Bundle{Origin: 9, Seq: 3, Epoch: 7}
+	fb := v.filterBundle(b)
+	if fb.Origin != 9 || fb.Seq != 3 || fb.Epoch != 7 {
+		t.Fatalf("filter changed bundle identity: %+v", fb)
+	}
+	if len(fb.Samples) != 0 || len(fb.Aggs) != 0 {
+		t.Fatal("empty bundle grew receipts")
+	}
+}

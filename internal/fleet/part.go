@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vpm/internal/core"
+)
+
+// Shard part files: how a verifier process hands its partial verdicts
+// to the merge step. Reports are stored as the canonical
+// core.EncodeEpochReport bytes (json.RawMessage), not re-marshaled
+// structs, so the byte-identity guarantee survives the process
+// boundary; the merge decodes, recombines, and re-encodes — and Go's
+// shortest-round-trip float encoding makes decode→encode of canonical
+// bytes exact, so merging N=1 parts reproduces the input bytes.
+
+// ShardOutput is one verifier process's complete output.
+type ShardOutput struct {
+	// Shard / Shards locate this part in the tier; the merge refuses
+	// mixed tiers.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Reports holds one canonical epoch-report encoding per epoch, in
+	// ascending epoch order — all epochs 0..Terminal, including ones
+	// where this shard owned no traffic.
+	Reports []json.RawMessage `json:"reports"`
+}
+
+// NewShardOutput encodes a verifier's reports canonically.
+func NewShardOutput(shards, shard int, reports []core.EpochReport) (*ShardOutput, error) {
+	out := &ShardOutput{Shard: shard, Shards: shards, Reports: make([]json.RawMessage, 0, len(reports))}
+	for i := range reports {
+		b, err := core.EncodeEpochReport(reports[i])
+		if err != nil {
+			return nil, err
+		}
+		out.Reports = append(out.Reports, json.RawMessage(b))
+	}
+	return out, nil
+}
+
+// WriteFile persists the part atomically (temp file + rename), so a
+// supervisor never reads a torn part from a crashed verifier.
+func (o *ShardOutput) WriteFile(path string) error {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".part-*")
+	if err != nil {
+		return err
+	}
+	//lint:ignore fsyncdiscipline part files are re-derivable fleet outputs, not the durability-bearing segment store — a torn write is re-run, not recovered
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadShardFile loads one part.
+func ReadShardFile(path string) (*ShardOutput, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var o ShardOutput
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("fleet: part %s: %w", path, err)
+	}
+	return &o, nil
+}
+
+// MergeShardOutputs recombines a full tier's parts into the union
+// verdict stream: one canonical epoch-report encoding per epoch,
+// ascending. All parts must come from the same tier width and cover
+// the same epoch range.
+func MergeShardOutputs(parts []*ShardOutput) ([]json.RawMessage, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fleet: no shard outputs to merge")
+	}
+	shards := parts[0].Shards
+	if len(parts) != shards {
+		return nil, fmt.Errorf("fleet: got %d parts for a %d-shard tier", len(parts), shards)
+	}
+	seen := make([]bool, shards)
+	for _, p := range parts {
+		if p.Shards != shards {
+			return nil, fmt.Errorf("fleet: mixed tiers: part from %d-shard tier, want %d", p.Shards, shards)
+		}
+		if p.Shard < 0 || p.Shard >= shards || seen[p.Shard] {
+			return nil, fmt.Errorf("fleet: bad or duplicate shard index %d", p.Shard)
+		}
+		seen[p.Shard] = true
+		if len(p.Reports) != len(parts[0].Reports) {
+			return nil, fmt.Errorf("fleet: shard %d covers %d epochs, shard %d covers %d",
+				p.Shard, len(p.Reports), parts[0].Shard, len(parts[0].Reports))
+		}
+	}
+	out := make([]json.RawMessage, 0, len(parts[0].Reports))
+	for e := range parts[0].Reports {
+		eparts := make([]core.EpochReport, 0, shards)
+		for _, p := range parts {
+			rep, err := core.DecodeEpochReport(p.Reports[e])
+			if err != nil {
+				return nil, fmt.Errorf("fleet: shard %d epoch index %d: %w", p.Shard, e, err)
+			}
+			eparts = append(eparts, rep)
+		}
+		merged, err := core.MergeEpochReports(eparts)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := core.EncodeEpochReport(merged)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, json.RawMessage(enc))
+	}
+	return out, nil
+}
+
+// Fingerprint digests a verdict stream: sha256 over the newline-joined
+// canonical report encodings, first 8 bytes hex — the same convention
+// the topology experiments use. Equal fingerprints at different shard
+// counts are the acceptance criterion.
+func Fingerprint(reports []json.RawMessage) string {
+	h := sha256.New()
+	for _, r := range reports {
+		h.Write(r)
+		h.Write([]byte("\n"))
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// EncodeReports renders in-process reports canonically — the
+// single-process path to a fingerprintable stream.
+func EncodeReports(reports []core.EpochReport) ([]json.RawMessage, error) {
+	o, err := NewShardOutput(1, 0, reports)
+	if err != nil {
+		return nil, err
+	}
+	return o.Reports, nil
+}

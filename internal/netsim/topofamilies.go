@@ -28,6 +28,23 @@ func TopoKeys(n int) []packet.PathKey {
 	return out
 }
 
+// WideKeys returns n distinct origin-prefix traffic keys drawn from a
+// host-grained space (10.a.b.c/32 -> 192.a.b.c/32, up to 2^24 keys).
+// TopoKeys wraps after 256 keys — fine for the mesh sweeps it serves,
+// fatal for a fleet-scale route table where a duplicated key silently
+// becomes an unintended ECMP pair.
+func WideKeys(n int) []packet.PathKey {
+	out := make([]packet.PathKey, n)
+	for i := range out {
+		a, b, c := byte(i>>16), byte(i>>8), byte(i)
+		out[i] = packet.PathKey{
+			Src: packet.MakePrefix(10, a, b, c, 32),
+			Dst: packet.MakePrefix(192, a, b, c, 32),
+		}
+	}
+	return out
+}
+
 // healthyDomain returns a DomainSpec with the Fig1 healthy defaults.
 func healthyDomain(name string) DomainSpec {
 	return DomainSpec{
@@ -289,18 +306,26 @@ func RandomASTopology(seed uint64, n, extra int, keys []packet.PathKey) *Topolog
 	for e := 0; e < extra; e++ {
 		connect(int(rng.Uint64()%uint64(n)), int(rng.Uint64()%uint64(n)))
 	}
-	shortest := func(a, b int) []int {
-		// BFS over the directed links; neighbor order is sorted for
-		// determinism (map iteration is randomized).
-		prevLink := make([]int, n)
-		prevDom := make([]int, n)
-		for i := range prevLink {
-			prevLink[i] = -1
-			prevDom[i] = -1
+	// One full BFS tree per source, memoized: a fleet-scale key list
+	// draws millions of endpoint pairs from a few hundred stubs, so
+	// per-pair BFS would be quadratic. The tree's parent assignments
+	// are exactly what a per-pair BFS stopped at b would have made
+	// (deterministic sorted neighbor order, and read-back only touches
+	// nodes assigned before b), so the routes are unchanged.
+	type bfsTree struct{ prevLink, prevDom []int }
+	trees := make(map[int]*bfsTree)
+	bfsFrom := func(a int) *bfsTree {
+		if tr, ok := trees[a]; ok {
+			return tr
+		}
+		tr := &bfsTree{prevLink: make([]int, n), prevDom: make([]int, n)}
+		for i := range tr.prevLink {
+			tr.prevLink[i] = -1
+			tr.prevDom[i] = -1
 		}
 		queue := []int{a}
-		prevDom[a] = a
-		for len(queue) > 0 && prevDom[b] < 0 {
+		tr.prevDom[a] = a
+		for len(queue) > 0 {
 			x := queue[0]
 			queue = queue[1:]
 			nbrs := make([]int, 0, len(fwd[x]))
@@ -313,16 +338,21 @@ func RandomASTopology(seed uint64, n, extra int, keys []packet.PathKey) *Topolog
 				}
 			}
 			for _, y := range nbrs {
-				if prevDom[y] < 0 {
-					prevDom[y] = x
-					prevLink[y] = fwd[x][y]
+				if tr.prevDom[y] < 0 {
+					tr.prevDom[y] = x
+					tr.prevLink[y] = fwd[x][y]
 					queue = append(queue, y)
 				}
 			}
 		}
+		trees[a] = tr
+		return tr
+	}
+	shortest := func(a, b int) []int {
+		tr := bfsFrom(a)
 		var rev []int
-		for x := b; x != a; x = prevDom[x] {
-			rev = append(rev, prevLink[x])
+		for x := b; x != a; x = tr.prevDom[x] {
+			rev = append(rev, tr.prevLink[x])
 		}
 		out := make([]int, 0, len(rev))
 		for i := len(rev) - 1; i >= 0; i-- {

@@ -27,6 +27,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"vpm/internal/hashing"
 	"vpm/internal/packet"
@@ -70,6 +71,25 @@ type Topology struct {
 	// Seed drives packet digests, ECMP hash-splitting and all
 	// simulation randomness.
 	Seed uint64
+
+	// idx caches the per-key route lists, built once on first routing
+	// query (RoutesForKey, PathIDFor). Without it every per-key query
+	// scans the whole route table — quadratic once a fleet-scale table
+	// holds a million keys. Finish building Routes before querying.
+	idxOnce sync.Once
+	idx     map[packet.PathKey][]int
+}
+
+// keyRoutes returns the indices of the routes carrying key, in
+// route-table order, from the lazily built per-key index.
+func (t *Topology) keyRoutes(key packet.PathKey) []int {
+	t.idxOnce.Do(func() {
+		t.idx = make(map[packet.PathKey][]int, len(t.Routes))
+		for i := range t.Routes {
+			t.idx[t.Routes[i].Key] = append(t.idx[t.Routes[i].Key], i)
+		}
+	})
+	return t.idx[key]
 }
 
 // Validate checks structural invariants: link endpoints in range,
@@ -183,14 +203,10 @@ func (t *Topology) RouteDomains(r int) []int {
 
 // RoutesForKey returns the indices of the routes carrying key, in
 // route-table order — one for single-path keys, several for ECMP.
+// The first call builds a per-key index, so the route table must be
+// complete by then.
 func (t *Topology) RoutesForKey(key packet.PathKey) []int {
-	var out []int
-	for i := range t.Routes {
-		if t.Routes[i].Key == key {
-			out = append(out, i)
-		}
-	}
-	return out
+	return t.keyRoutes(key)
 }
 
 // Keys returns the distinct traffic keys in the route table, in
@@ -226,10 +242,7 @@ func (t *Topology) PathIDFor(key packet.PathKey, h receipt.HOPID) receipt.PathID
 	var prev, next receipt.HOPID
 	first := true
 	prevAmbig, nextAmbig := false, false
-	for ri := range t.Routes {
-		if t.Routes[ri].Key != key {
-			continue
-		}
+	for _, ri := range t.keyRoutes(key) {
 		hops := t.RouteHOPs(ri)
 		for pos, hh := range hops {
 			if hh != h {
